@@ -1,0 +1,24 @@
+"""A2 -- archetype confidence threshold vs topic drift (section 3.2).
+
+Expected shape: without the mean-confidence admission rule the iterated
+promotion loop absorbs heterogeneous borderline pages and drifts --
+lower training purity and lower held-out precision than with the rule.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_archetype_ablation
+
+from benchmarks.conftest import record_table
+
+
+def test_archetype_threshold_blocks_drift(benchmark) -> None:
+    result = benchmark.pedantic(
+        run_archetype_ablation, rounds=1, iterations=1
+    )
+    record_table("ablation_archetypes", result.table().render())
+    on = "threshold on (paper 3.2)"
+    off = "threshold off"
+    assert result.purity_of(on) >= result.purity_of(off)
+    assert result.precision_of(on) >= result.precision_of(off) + 0.05
+    assert result.purity_of(on) >= 0.85

@@ -1,0 +1,33 @@
+"""A4 -- feature spaces and xi-alpha model selection (section 3.4/3.5).
+
+Expected shape: every space reaches usable held-out precision; the
+anchor-only space trades recall for cheap evidence; and the xi-alpha
+estimates give BINGO!'s model selection a clear preference ordering
+(it prefers the single-term space at runtime, as the paper does when
+"the crawler's run-time is critical").
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_feature_space_ablation
+
+from benchmarks.conftest import record_table
+
+
+def test_feature_space_ablation(benchmark) -> None:
+    result = benchmark.pedantic(
+        run_feature_space_ablation, rounds=1, iterations=1
+    )
+    record_table("ablation_features", result.table().render())
+    by_space = {name: rest for name, *rest in result.rows}
+    terms_estimate = by_space["terms"][0]
+    # xi-alpha must find the term space at least as trustworthy as any
+    # other single space (BINGO! picks it for run-time-critical crawls)
+    for space, (estimate, _precision, _recall) in by_space.items():
+        if space != "terms":
+            assert terms_estimate >= estimate - 1e-9
+    # all spaces classify usefully on held-out pages
+    for space, (_estimate, precision, _recall) in by_space.items():
+        assert precision >= 0.8, space
+    # anchors alone lose recall (incoming evidence is sparse)
+    assert by_space["anchors"][2] <= by_space["terms"][2]

@@ -1,0 +1,37 @@
+"""A1 -- focus strategies and tunnelling (section 3.3).
+
+Expected shape: tunnelling reaches substantially more target pages --
+in particular the "hidden" homepages linked only from topic-unspecific
+welcome pages -- while sharp focusing keeps precision at least as high
+as soft focusing.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_focus_ablation
+
+from benchmarks.conftest import record_table
+
+
+def test_focus_and_tunnelling_ablation(benchmark) -> None:
+    result = benchmark.pedantic(
+        lambda: run_focus_ablation(budget=450), rounds=1, iterations=1
+    )
+    record_table("ablation_focus", result.table().render())
+    sharp_plain = result.variant("sharp, no tunnelling")
+    sharp_tunnel = result.variant("sharp + tunnelling")
+    soft_plain = result.variant("soft, no tunnelling")
+    soft_tunnel = result.variant("soft + tunnelling")
+    # without tunnelling the crawl starves before its budget (3.3: the
+    # crawler "would quickly run out of links to be visited")
+    assert sharp_plain[0] < 450
+    assert sharp_tunnel[0] >= sharp_plain[0]
+    # tunnelling unlocks more target pages -- above all the hidden
+    # homepages behind topic-unspecific welcome pages
+    assert sharp_tunnel[3] > sharp_plain[3]
+    assert sharp_tunnel[4] > sharp_plain[4]
+    assert soft_tunnel[4] > soft_plain[4]
+    # focused acceptance stays precise in all variants
+    for variant, *_rest in result.rows:
+        precision = result.variant(variant)[2]
+        assert precision >= 0.8

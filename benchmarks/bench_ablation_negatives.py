@@ -1,0 +1,23 @@
+"""A3 -- systematic vs arbitrary negative examples (section 3.1).
+
+Expected shape: populating OTHERS with broad, systematic directory
+coverage yields higher precision than a handful of arbitrary pages from
+a single category ("saying what the crawl should not return is as
+important as specifying what ... we are interested in").
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_negatives_ablation
+
+from benchmarks.conftest import record_table
+
+
+def test_systematic_negatives_beat_arbitrary(benchmark) -> None:
+    result = benchmark.pedantic(
+        run_negatives_ablation, rounds=1, iterations=1
+    )
+    record_table("ablation_negatives", result.table().render())
+    systematic = result.precision_of("systematic (50 directory pages)")
+    arbitrary = result.precision_of("arbitrary (5 same-category pages)")
+    assert systematic > arbitrary

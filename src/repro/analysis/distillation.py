@@ -1,0 +1,107 @@
+"""Bharat/Henzinger topic distillation (SIGIR 1998) -- the "method of [4]".
+
+Two improvements over plain HITS, both implemented here:
+
+1. **Host-based edge weighting** defeats mutually reinforcing hosts: if
+   ``k`` documents on host H all point to the same target, each such edge
+   contributes authority weight ``1/k`` (and symmetrically, if one host's
+   documents receive ``m`` links from the same source's host, hub
+   contributions are scaled ``1/m``).  No single host can then dominate a
+   target's authority.
+
+2. **Relevance weighting** fights topic drift inside the expanded node
+   set: each node carries a relevance weight in [0, 1] (BINGO! uses the
+   classifier's confidence, rescaled), and a node's contribution to its
+   neighbours is multiplied by its relevance.
+
+The result object is the same :class:`~repro.analysis.hits.HitsResult`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Hashable, Mapping
+
+from repro.analysis.graph import LinkGraph
+from repro.analysis.hits import HitsResult, _normalize
+
+__all__ = ["bharat_henzinger"]
+
+Node = Hashable
+
+
+def _edge_weights(graph: LinkGraph) -> tuple[dict, dict]:
+    """Per-edge authority and hub weights under the host rules."""
+    # authority weight of edge (p -> q): 1 / (#docs on host(p) linking to q)
+    by_target_host: dict[tuple[Node, str], int] = defaultdict(int)
+    for target, sources in graph.predecessors.items():
+        for source in sources:
+            by_target_host[(target, graph.host_of(source))] += 1
+    authority_weight = {}
+    for target, sources in graph.predecessors.items():
+        for source in sources:
+            k = by_target_host[(target, graph.host_of(source))]
+            authority_weight[(source, target)] = 1.0 / k
+    # hub weight of edge (p -> q): 1 / (#docs on host(q) linked from p)
+    by_source_host: dict[tuple[Node, str], int] = defaultdict(int)
+    for source, targets in graph.successors.items():
+        for target in targets:
+            by_source_host[(source, graph.host_of(target))] += 1
+    hub_weight = {}
+    for source, targets in graph.successors.items():
+        for target in targets:
+            m = by_source_host[(source, graph.host_of(target))]
+            hub_weight[(source, target)] = 1.0 / m
+    return authority_weight, hub_weight
+
+
+def bharat_henzinger(
+    graph: LinkGraph,
+    relevance: Mapping[Node, float] | None = None,
+    max_iterations: int = 50,
+    tolerance: float = 1e-8,
+) -> HitsResult:
+    """Host-weighted, relevance-weighted HITS."""
+    nodes = graph.nodes
+    if not nodes:
+        return HitsResult(converged=True)
+    if relevance is None:
+        relevance = {}
+    rel = {node: float(relevance.get(node, 1.0)) for node in nodes}
+    authority_weight, hub_weight = _edge_weights(graph)
+
+    authority = {node: 1.0 for node in nodes}
+    hub = {node: 1.0 for node in nodes}
+    _normalize(authority)
+    _normalize(hub)
+    iterations = 0
+    converged = False
+    for iterations in range(1, max_iterations + 1):
+        new_authority = {
+            node: sum(
+                hub[p] * authority_weight[(p, node)] * rel[p]
+                for p in graph.predecessors.get(node, ())
+            )
+            for node in nodes
+        }
+        _normalize(new_authority)
+        new_hub = {
+            node: sum(
+                new_authority[q] * hub_weight[(node, q)] * rel[q]
+                for q in graph.successors.get(node, ())
+            )
+            for node in nodes
+        }
+        _normalize(new_hub)
+        delta = max(
+            max(abs(new_authority[n] - authority[n]) for n in nodes),
+            max(abs(new_hub[n] - hub[n]) for n in nodes),
+        )
+        authority, hub = new_authority, new_hub
+        if delta < tolerance:
+            converged = True
+            break
+    return HitsResult(
+        authority=authority, hub=hub,
+        iterations=iterations, converged=converged,
+    )

@@ -1,0 +1,154 @@
+"""Command-line interface: run the paper's workflows from a shell.
+
+Four subcommands mirror the repository's deliverables::
+
+    python -m repro.cli portal  --seed 17 --short 700 --long 6000
+    python -m repro.cli expert  --seed 7  --budget 700
+    python -m repro.cli crawl   --seed 7  --budget 1000 --export-portal out/
+    python -m repro.cli ablate  --which focus archetypes negatives features
+
+Every run is deterministic given its ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BINGO! focused-crawler reproduction (CIDR 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    portal = sub.add_parser(
+        "portal", help="Tables 1-3: the portal-generation experiment"
+    )
+    portal.add_argument("--seed", type=int, default=17)
+    portal.add_argument("--short", type=int, default=700,
+                        help="fetch budget of the first checkpoint")
+    portal.add_argument("--long", type=int, default=6000,
+                        help="total fetch budget of the resumed crawl")
+
+    expert = sub.add_parser(
+        "expert", help="Figures 4-5: the expert-search experiment"
+    )
+    expert.add_argument("--seed", type=int, default=7)
+    expert.add_argument("--budget", type=int, default=700,
+                        help="harvesting fetch budget")
+
+    crawl = sub.add_parser(
+        "crawl", help="run a single portal crawl and print/export results"
+    )
+    crawl.add_argument("--seed", type=int, default=7)
+    crawl.add_argument("--budget", type=int, default=1000)
+    crawl.add_argument("--topic", default=None,
+                       help="target topic (default: the web's target)")
+    crawl.add_argument("--export-portal", metavar="DIR", default=None,
+                       help="write a static HTML portal to DIR")
+    crawl.add_argument("--dump-db", metavar="DIR", default=None,
+                       help="dump the crawl database to DIR (JSON lines)")
+    crawl.add_argument("--top", type=int, default=10,
+                       help="number of top results to print")
+
+    ablate = sub.add_parser(
+        "ablate", help="sections 3.1-3.4 design-choice ablations"
+    )
+    ablate.add_argument(
+        "--which", nargs="+",
+        choices=["focus", "archetypes", "negatives", "features"],
+        default=["focus", "archetypes", "negatives", "features"],
+    )
+    return parser
+
+
+def _cmd_portal(args) -> int:
+    from repro.experiments.portal import run_portal_experiment
+
+    result = run_portal_experiment(
+        seed=args.seed, short_budget=args.short, long_budget=args.long
+    )
+    for table in (result.table1(), result.table2(), result.table3()):
+        print(table.render())
+        print()
+    for note in result.notes:
+        print(f"note: {note}")
+    return 0
+
+
+def _cmd_expert(args) -> int:
+    from repro.experiments.expert import run_expert_experiment
+
+    result = run_expert_experiment(
+        seed=args.seed, crawl_fetch_budget=args.budget
+    )
+    print(result.figure4().render())
+    print()
+    print(result.figure5().render())
+    return 0
+
+
+def _cmd_crawl(args) -> int:
+    from repro.core import BingoConfig, BingoEngine
+    from repro.web import SyntheticWeb, WebGraphConfig
+
+    web = SyntheticWeb.generate(WebGraphConfig(seed=args.seed))
+    topics = [args.topic] if args.topic else None
+    engine = BingoEngine.for_portal(
+        web, topics=topics, config=BingoConfig(seed=args.seed)
+    )
+    report = engine.run(harvesting_fetch_budget=args.budget)
+    for key, value in report.table1_row().items():
+        print(f"{key:>22}: {value}")
+    topic = f"ROOT/{args.topic or web.config.target_topic}"
+    print(f"\ntop {args.top} results for {topic}:")
+    for doc in engine.ranked_results(topic)[: args.top]:
+        print(f"  {doc.confidence:6.3f}  {doc.final_url}")
+    if args.export_portal:
+        from repro.search.portal_export import PortalExporter
+
+        paths = PortalExporter(
+            engine.tree, engine.crawler.documents
+        ).export(args.export_portal)
+        print(f"\nportal written: {len(paths)} pages in {args.export_portal}")
+    if args.dump_db:
+        from repro.storage.persistence import dump_database
+
+        rows = dump_database(engine.database, args.dump_db)
+        print(f"database dumped: {rows} rows in {args.dump_db}")
+    return 0
+
+
+def _cmd_ablate(args) -> int:
+    from repro.experiments import ablations
+
+    runners = {
+        "focus": lambda: ablations.run_focus_ablation(budget=450),
+        "archetypes": ablations.run_archetype_ablation,
+        "negatives": ablations.run_negatives_ablation,
+        "features": ablations.run_feature_space_ablation,
+    }
+    for name in args.which:
+        print(runners[name]().table().render())
+        print()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    commands = {
+        "portal": _cmd_portal,
+        "expert": _cmd_expert,
+        "crawl": _cmd_crawl,
+        "ablate": _cmd_ablate,
+    }
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

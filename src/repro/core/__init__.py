@@ -1,0 +1,73 @@
+"""BINGO! core: the focused crawler and its orchestration.
+
+This package is the paper's primary contribution: the topic tree, the
+MI feature selection, the hierarchical SVM classifier with meta
+decision modes, archetype selection, the red-black-tree crawl frontier
+with DNS prefetch, three-stage duplicate detection, the focused crawler
+with sharp/soft focus and tunnelling, and the two-phase engine.
+"""
+
+from repro.core.archetypes import ArchetypeDecision, select_archetypes
+from repro.core.classifier import (
+    ClassificationResult,
+    HierarchicalClassifier,
+    NodeClassifier,
+    TopicDecisionModel,
+)
+from repro.core.config import BingoConfig, MimePolicy
+from repro.core.crawler import (
+    SHARP,
+    SOFT,
+    CrawledDocument,
+    CrawlStats,
+    FocusedCrawler,
+    PhaseSettings,
+)
+from repro.core.dedup import DedupStats, DuplicateDetector
+from repro.core.engine import (
+    ArchetypeReview,
+    BingoEngine,
+    CrawlReport,
+    PhaseReport,
+)
+from repro.core.feature_selection import (
+    FeatureScore,
+    mutual_information,
+    select_features,
+)
+from repro.core.frontier import CrawlFrontier, QueueEntry
+from repro.core.ontology import OTHERS_SUFFIX, ROOT, TopicNode, TopicTree
+from repro.core.rbtree import RedBlackTree
+
+__all__ = [
+    "ArchetypeDecision",
+    "ArchetypeReview",
+    "BingoConfig",
+    "BingoEngine",
+    "ClassificationResult",
+    "CrawlFrontier",
+    "CrawlReport",
+    "CrawlStats",
+    "CrawledDocument",
+    "DedupStats",
+    "DuplicateDetector",
+    "FeatureScore",
+    "FocusedCrawler",
+    "HierarchicalClassifier",
+    "MimePolicy",
+    "NodeClassifier",
+    "OTHERS_SUFFIX",
+    "PhaseReport",
+    "PhaseSettings",
+    "QueueEntry",
+    "ROOT",
+    "RedBlackTree",
+    "SHARP",
+    "SOFT",
+    "TopicDecisionModel",
+    "TopicNode",
+    "TopicTree",
+    "mutual_information",
+    "select_archetypes",
+    "select_features",
+]

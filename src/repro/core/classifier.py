@@ -1,0 +1,439 @@
+"""Hierarchical topic classification (paper sections 2.3-2.4, 3.4-3.5).
+
+For every tree node with children, each real child gets one binary
+decision model *per feature space*: topic-specific MI feature selection
+followed by a linear SVM whose positives are the child's training
+documents and whose negatives are the competing siblings' documents plus
+the parent's OTHERS documents.  A trained child model also carries its
+xi-alpha precision estimate.
+
+New documents are classified top-down: at each level all competing
+children vote (optionally combined by the meta classifier of section
+3.5); the document descends into the highest-confidence positive child,
+or into the level's OTHERS node when every child says no.
+
+The classifier is agnostic to how feature vectors are built: documents
+arrive as ``{space_name: Counter}`` mappings and each space keeps its own
+tf*idf statistics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.config import BingoConfig
+from repro.core.feature_selection import select_features
+from repro.core.ontology import TopicTree
+from repro.errors import TrainingError
+from repro.ml.maxent import MaxEntClassifier
+from repro.ml.naive_bayes import NaiveBayesClassifier
+from repro.ml.rocchio import RocchioClassifier
+from repro.ml.svm import LinearSVM
+from repro.ml.xialpha import XiAlphaEstimate, xi_alpha_estimate
+from repro.text.vectorizer import SparseVector, TfIdfVectorizer
+
+__all__ = [
+    "TrainingDoc",
+    "TrainingSet",
+    "ClassificationResult",
+    "NodeClassifier",
+    "TopicDecisionModel",
+    "HierarchicalClassifier",
+]
+
+#: a document, reduced to per-feature-space term multisets
+TrainingDoc = Mapping[str, Counter]
+
+#: topic name -> training documents
+TrainingSet = Mapping[str, Sequence[TrainingDoc]]
+
+#: decision-combination modes (paper 3.5)
+MODES = ("single", "unanimous", "majority", "weighted", "best")
+
+
+def _cross_validation_estimate(
+    factory, vectors, labels, folds: int = 3, seed: int = 0,
+) -> XiAlphaEstimate:
+    """A k-fold generalization estimate shaped like a xi-alpha result.
+
+    Used for learners without the SVM dual state: folds are stratified
+    by round-robin so tiny training sets keep both classes per fold; a
+    fold that degenerates to one class is skipped.
+    """
+    import numpy as np
+
+    order = np.random.default_rng(seed).permutation(len(vectors))
+    assignments = {int(index): i % folds for i, index in enumerate(order)}
+    tp = fp = fn = tn = 0
+    for fold in range(folds):
+        train_idx = [i for i in range(len(vectors)) if assignments[i] != fold]
+        test_idx = [i for i in range(len(vectors)) if assignments[i] == fold]
+        train_labels = [labels[i] for i in train_idx]
+        if len(set(train_labels)) < 2 or not test_idx:
+            continue
+        model = factory().fit(
+            [vectors[i] for i in train_idx], train_labels
+        )
+        for i in test_idx:
+            predicted = model.predict(vectors[i])
+            if predicted == 1 and labels[i] == 1:
+                tp += 1
+            elif predicted == 1:
+                fp += 1
+            elif labels[i] == 1:
+                fn += 1
+            else:
+                tn += 1
+    total = tp + fp + fn + tn
+    return XiAlphaEstimate(
+        error=(fp + fn) / total if total else 1.0,
+        recall=tp / (tp + fn) if tp + fn else 0.0,
+        precision=tp / (tp + fp) if tp + fp else 0.0,
+        flagged_positive=fn,
+        flagged_negative=fp,
+    )
+
+
+@dataclass(frozen=True)
+class ClassificationResult:
+    """Where a document landed in the tree and how confidently."""
+
+    topic: str
+    confidence: float
+    path: tuple[tuple[str, float], ...] = ()
+    """(node, confidence) for every accepted descent step."""
+
+    @property
+    def accepted(self) -> bool:
+        """True when the final node is a real topic (not an OTHERS bin)."""
+        return not self.topic.endswith("/OTHERS")
+
+
+@dataclass
+class NodeClassifier:
+    """One (topic, feature-space) binary decision model.
+
+    ``svm`` holds the node's decision model; despite the historical name
+    it may be any :class:`~repro.ml.common.BinaryClassifier` when the
+    config selects an alternative learner (the paper names Naive Bayes
+    and Maximum Entropy alongside SVMs, section 1.2).
+    """
+
+    topic: str
+    space: str
+    features: list[str]
+    svm: "LinearSVM | object"
+    estimate: XiAlphaEstimate
+    feature_budget: int = 0
+    """The feature count this model was trained with (xi-alpha-chosen
+    when the config lists budget candidates)."""
+    _feature_set: frozenset = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._feature_set = frozenset(self.features)
+
+    def _project(self, vectors: Mapping[str, SparseVector]) -> SparseVector | None:
+        """Restrict the document to this model's selected features.
+
+        Training vectors are projected *before* normalisation, so the
+        decision phase must do the same -- otherwise off-feature mass
+        dilutes the normalised vector and shrinks every decision value.
+        """
+        vector = vectors.get(self.space)
+        if vector is None:
+            return None
+        return vector.project(self._feature_set)
+
+    def decision(self, vectors: Mapping[str, SparseVector]) -> float:
+        vector = self._project(vectors)
+        if vector is None:
+            return 0.0
+        return self.svm.decision(vector)
+
+    def distance(self, vectors: Mapping[str, SparseVector]) -> float:
+        """Confidence: hyperplane distance for SVMs, raw decision else."""
+        vector = self._project(vectors)
+        if vector is None:
+            return 0.0
+        if hasattr(self.svm, "distance"):
+            return self.svm.distance(vector)
+        return self.svm.decision(vector)
+
+
+@dataclass
+class TopicDecisionModel:
+    """All per-space models of one topic plus the combination logic."""
+
+    topic: str
+    members: list[NodeClassifier] = field(default_factory=list)
+
+    def best_member(self) -> NodeClassifier:
+        """The member with the highest xi-alpha precision estimate."""
+        return max(self.members, key=lambda m: m.estimate.precision)
+
+    def decide(
+        self, vectors: Mapping[str, SparseVector], mode: str,
+        threshold: float = 0.0,
+    ) -> tuple[bool, float]:
+        """Return ``(is_positive, confidence)`` under the given mode.
+
+        Confidence is a hyperplane-distance style score: the
+        (precision-weighted) mean distance of the members that were
+        consulted.
+        """
+        if not self.members:
+            raise TrainingError(f"topic {self.topic!r} has no trained model")
+        if mode not in MODES:
+            raise TrainingError(f"unknown decision mode {mode!r}")
+        if mode in ("single", "best"):
+            member = (
+                self.members[0] if mode == "single" else self.best_member()
+            )
+            distance = member.distance(vectors)
+            return member.decision(vectors) > threshold, distance
+        votes = [
+            1 if member.decision(vectors) > threshold else -1
+            for member in self.members
+        ]
+        distances = [member.distance(vectors) for member in self.members]
+        if mode == "unanimous":
+            positive = all(vote > 0 for vote in votes)
+        elif mode == "majority":
+            positive = sum(votes) > 0
+        else:  # weighted by xi-alpha precision
+            weights = [member.estimate.precision for member in self.members]
+            if sum(weights) <= 0:
+                weights = [1.0] * len(votes)
+            positive = sum(w * v for w, v in zip(weights, votes)) > 0
+        confidence = self._weighted_distance(distances, mode)
+        return positive, confidence
+
+    def _weighted_distance(self, distances: list[float], mode: str) -> float:
+        if mode == "weighted":
+            weights = [member.estimate.precision for member in self.members]
+            total = sum(weights)
+            if total > 0:
+                return sum(w * d for w, d in zip(weights, distances)) / total
+        return sum(distances) / len(distances)
+
+
+class HierarchicalClassifier:
+    """The tree of topic-specific decision models."""
+
+    def __init__(
+        self,
+        tree: TopicTree,
+        config: BingoConfig | None = None,
+        spaces: Sequence[str] = ("term",),
+    ) -> None:
+        self.tree = tree
+        self.config = config or BingoConfig()
+        self.spaces = list(spaces)
+        if not self.spaces:
+            raise TrainingError("need at least one feature space")
+        self.vectorizers: dict[str, TfIdfVectorizer] = {
+            space: TfIdfVectorizer() for space in self.spaces
+        }
+        self.models: dict[str, TopicDecisionModel] = {}
+        self.trained = False
+
+    # -- corpus statistics --------------------------------------------------
+
+    def ingest(self, doc: TrainingDoc) -> None:
+        """Feed a document into the per-space idf statistics (live side)."""
+        for space, vectorizer in self.vectorizers.items():
+            counts = doc.get(space)
+            if counts:
+                vectorizer.ingest(counts.keys())
+
+    def refresh_idf(self) -> None:
+        """Promote live df counts to the idf snapshot (lazy, on retraining)."""
+        for vectorizer in self.vectorizers.values():
+            vectorizer.refresh()
+
+    def vectorize(self, doc: TrainingDoc) -> dict[str, SparseVector]:
+        """Per-space tf*idf vectors of a document."""
+        return {
+            space: self.vectorizers[space].vectorize_counts(
+                doc.get(space, Counter())
+            )
+            for space in self.spaces
+        }
+
+    # -- training ------------------------------------------------------------
+
+    def train(self, training: TrainingSet) -> None:
+        """(Re)train every tree node's child models from scratch.
+
+        ``training`` maps topic names (including OTHERS nodes) to their
+        training documents.  Nodes whose children have no positive
+        examples are skipped -- classification then treats those children
+        as permanently negative.
+        """
+        self.refresh_idf()
+        self.models = {}
+        for parent in self.tree.inner_nodes():
+            children = self.tree.children_of(parent)
+            others = self.tree.others_of(parent)
+            for child in children:
+                positives = self._docs_of_subtree(training, child)
+                negatives: list[TrainingDoc] = []
+                for sibling in children:
+                    if sibling != child:
+                        negatives.extend(
+                            self._docs_of_subtree(training, sibling)
+                        )
+                negatives.extend(training.get(others, ()))
+                if not positives or not negatives:
+                    continue
+                self.models[child] = self._train_topic(
+                    child, positives, negatives
+                )
+        self.trained = True
+
+    def _docs_of_subtree(
+        self, training: TrainingSet, topic: str
+    ) -> list[TrainingDoc]:
+        """A topic's documents plus those of all real descendants."""
+        docs = list(training.get(topic, ()))
+        for child in self.tree.children_of(topic):
+            docs.extend(self._docs_of_subtree(training, child))
+        return docs
+
+    def _train_topic(
+        self,
+        topic: str,
+        positives: Sequence[TrainingDoc],
+        negatives: Sequence[TrainingDoc],
+    ) -> TopicDecisionModel:
+        model = TopicDecisionModel(topic=topic)
+        labels = [1] * len(positives) + [-1] * len(negatives)
+        budgets = tuple(self.config.feature_budget_candidates) or (
+            self.config.selected_features,
+        )
+        for space in self.spaces:
+            pos_counts = [doc.get(space, Counter()) for doc in positives]
+            neg_counts = [doc.get(space, Counter()) for doc in negatives]
+            ranked = select_features(
+                {topic: pos_counts, "__rest__": neg_counts},
+                topic,
+                tf_preselection=self.config.tf_preselection,
+                selected_features=max(budgets),
+            )
+            vectorizer = self.vectorizers[space]
+            best: NodeClassifier | None = None
+            for budget in budgets:
+                features = [score.feature for score in ranked[:budget]]
+                feature_set = set(features)
+                vectors = [
+                    vectorizer.vectorize_counts(counts).project(feature_set)
+                    for counts in [*pos_counts, *neg_counts]
+                ]
+                learner, estimate = self._fit_node_model(vectors, labels)
+                candidate = NodeClassifier(
+                    topic=topic, space=space, features=features,
+                    svm=learner, estimate=estimate, feature_budget=budget,
+                )
+                if (
+                    best is None
+                    or candidate.estimate.precision > best.estimate.precision
+                ):
+                    best = candidate
+            assert best is not None
+            model.members.append(best)
+        return model
+
+    def _fit_node_model(self, vectors, labels):
+        """Train the configured learner; return (model, estimate).
+
+        SVMs get the xi-alpha estimate (cheap, from the dual solution);
+        the alternative learners get a 3-fold cross-validation estimate
+        packaged in the same shape.
+        """
+        kind = self.config.node_classifier
+        if kind == "svm":
+            svm = LinearSVM(
+                C=self.config.svm_cost, seed=self.config.seed
+            ).fit(vectors, labels)
+            return svm, xi_alpha_estimate(svm, labels)
+        factories = {
+            "maxent": lambda: MaxEntClassifier(),
+            "naive-bayes": lambda: NaiveBayesClassifier(),
+            "rocchio": lambda: RocchioClassifier(),
+        }
+        factory = factories[kind]
+        estimate = _cross_validation_estimate(
+            factory, vectors, labels, seed=self.config.seed
+        )
+        return factory().fit(vectors, labels), estimate
+
+    # -- decision phase -------------------------------------------------------
+
+    def classify(
+        self, doc: TrainingDoc, mode: str = "single"
+    ) -> ClassificationResult:
+        """Top-down classification of a new document.
+
+        Starting at ROOT, all children with trained models vote; the
+        document descends into the highest-confidence positive child.
+        When no child accepts, the document lands in the level's OTHERS
+        node.  The returned confidence is that of the deepest accepted
+        level (or the best rejection distance when nothing accepted).
+        """
+        if not self.trained:
+            raise TrainingError("classifier has not been trained")
+        vectors = self.vectorize(doc)
+        current = "ROOT"
+        path: list[tuple[str, float]] = []
+        confidence = 0.0
+        while True:
+            children = [
+                child for child in self.tree.children_of(current)
+                if child in self.models
+            ]
+            if not children:
+                break
+            decisions = [
+                (child, *self.models[child].decide(
+                    vectors, mode, self.config.acceptance_threshold
+                ))
+                for child in children
+            ]
+            positive = [
+                (child, conf) for child, is_pos, conf in decisions if is_pos
+            ]
+            if not positive:
+                others = self.tree.others_of(current)
+                best_rejection = max(conf for _, _, conf in decisions)
+                return ClassificationResult(
+                    topic=others,
+                    confidence=best_rejection,
+                    path=tuple(path),
+                )
+            child, confidence = max(positive, key=lambda pair: pair[1])
+            path.append((child, confidence))
+            current = child
+        return ClassificationResult(
+            topic=current, confidence=confidence, path=tuple(path)
+        )
+
+    def confidence_for(
+        self, doc: TrainingDoc, topic: str, mode: str = "single"
+    ) -> float:
+        """The (distance) confidence of ``doc`` under ``topic``'s model."""
+        model = self.models.get(topic)
+        if model is None:
+            raise TrainingError(f"no trained model for topic {topic!r}")
+        _positive, confidence = model.decide(
+            self.vectorize(doc), mode, self.config.acceptance_threshold
+        )
+        return confidence
+
+    def estimates(self) -> dict[str, list[tuple[str, XiAlphaEstimate]]]:
+        """Per-topic (space, xi-alpha estimate) pairs -- for reporting."""
+        return {
+            topic: [(m.space, m.estimate) for m in model.members]
+            for topic, model in self.models.items()
+        }

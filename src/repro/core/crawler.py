@@ -1,0 +1,577 @@
+"""The focused crawler (paper sections 2.1, 3.3 and 4.2).
+
+One :class:`FocusedCrawler` drives fetches against the simulated Web
+under a :class:`PhaseSettings` policy -- the learning phase runs with a
+sharp focus, depth-first priorities and seed-domain restriction, the
+harvesting phase with a soft focus, confidence priorities and tunnelling
+(section 3.3).  All crawl-management machinery of section 4.2 is here:
+
+* URL sanity limits (length caps), locked-domain exclusion;
+* three-stage duplicate detection (URL hash -> IP+path -> IP+filesize);
+* cached asynchronous DNS with prefetch on frontier refill;
+* MIME-type policies with per-type size caps;
+* host failure management: retries, then "slow", then "bad" (excluded);
+* politeness: bounded parallel fetches per host and per domain;
+* batched storage through the bulk loader.
+
+Time is simulated: every fetch charges DNS + network + processing time
+to a :class:`~repro.web.clock.WorkerPool` of ``crawler_threads`` workers,
+so budgets like "90 minutes" replay deterministically in milliseconds.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field, replace
+
+from repro.core.classifier import ClassificationResult, HierarchicalClassifier
+from repro.core.config import BingoConfig
+from repro.core.dedup import DuplicateDetector
+from repro.core.frontier import CrawlFrontier, QueueEntry
+from repro.errors import DNSError
+from repro.storage.bulkloader import BulkLoader
+from repro.text.features import AnalyzedDocument, FeatureSpace, TermSpace
+from repro.text.handlers import default_registry
+from repro.text.tokenizer import tokenize_html
+from repro.web.clock import SimulatedClock, WorkerPool
+from repro.web.dns import CachingResolver, DnsServer
+from repro.web.server import FetchStatus
+from repro.web.urls import is_crawlable_url, join_url, normalize_url, parse_url
+
+__all__ = [
+    "PhaseSettings",
+    "CrawlStats",
+    "CrawledDocument",
+    "FocusedCrawler",
+    "SHARP",
+    "SOFT",
+]
+
+SHARP = "sharp"
+SOFT = "soft"
+
+#: simulated per-document analysis cost (parsing + classification), seconds
+PROCESSING_COST = 0.05
+
+
+@dataclass
+class PhaseSettings:
+    """Focusing policy of one crawl phase (learning vs harvesting)."""
+
+    name: str = "harvesting"
+    focus: str = SOFT
+    """SHARP accepts only links staying in the source's class (3.3)."""
+    decision_mode: str = "single"
+    """Classifier combination mode for this phase (3.5)."""
+    tunnelling: bool = True
+    depth_first: bool = False
+    """True -> deeper links get higher priority (learning phase)."""
+    max_depth: int | None = None
+    allowed_domains: frozenset[str] | None = None
+    """Restrict the crawl to these registrable domains (learning phase)."""
+    fetch_budget: int | None = None
+    time_budget: float | None = None
+    """Simulated seconds for this phase."""
+
+
+@dataclass
+class CrawlStats:
+    """The counters of Table 1 plus diagnostic detail."""
+
+    visited_urls: int = 0
+    stored_pages: int = 0
+    extracted_links: int = 0
+    positively_classified: int = 0
+    hosts_visited: set[str] = field(default_factory=set)
+    max_depth: int = 0
+    # diagnostics
+    fetch_errors: int = 0
+    dns_failures: int = 0
+    duplicates_skipped: int = 0
+    mime_rejected: int = 0
+    size_rejected: int = 0
+    url_rejected: int = 0
+    locked_skipped: int = 0
+    bad_host_skipped: int = 0
+    politeness_defers: int = 0
+    retries: int = 0
+    simulated_seconds: float = 0.0
+
+    @property
+    def visited_hosts(self) -> int:
+        return len(self.hosts_visited)
+
+    def table1_row(self) -> dict[str, int]:
+        """The six summary properties the paper's Table 1 reports."""
+        return {
+            "visited_urls": self.visited_urls,
+            "stored_pages": self.stored_pages,
+            "extracted_links": self.extracted_links,
+            "positively_classified": self.positively_classified,
+            "visited_hosts": self.visited_hosts,
+            "max_crawling_depth": self.max_depth,
+        }
+
+
+@dataclass
+class CrawledDocument:
+    """In-memory record of one stored page (mirrors the documents rows)."""
+
+    doc_id: int
+    url: str
+    final_url: str
+    page_id: int | None
+    host: str
+    ip: str
+    mime: str
+    size: int
+    title: str
+    depth: int
+    topic: str
+    confidence: float
+    counts: dict[str, Counter]
+    out_urls: list[str]
+    fetched_at: float
+
+
+@dataclass
+class _HostState:
+    failures: int = 0
+    slow: bool = False
+    bad: bool = False
+    busy_until: list[float] = field(default_factory=list)
+
+
+@dataclass
+class _DomainState:
+    busy_until: list[float] = field(default_factory=list)
+
+
+class FocusedCrawler:
+    """Fetches, classifies and stores pages under a phase policy."""
+
+    def __init__(
+        self,
+        web,
+        classifier: HierarchicalClassifier,
+        config: BingoConfig | None = None,
+        clock: SimulatedClock | None = None,
+        spaces: dict[str, FeatureSpace] | None = None,
+        loader: BulkLoader | None = None,
+        on_document: "callable | None" = None,
+        on_retrain: "callable | None" = None,
+    ) -> None:
+        self.web = web
+        self.classifier = classifier
+        self.config = config or BingoConfig()
+        self.config.validate()
+        self.clock = clock or SimulatedClock()
+        self.pool = WorkerPool(self.config.crawler_threads, self.clock)
+        self.spaces = spaces or {"term": TermSpace()}
+        self.loader = loader
+        self.on_document = on_document
+        self.on_retrain = on_retrain
+        self.handlers = default_registry()
+        self.converted_formats: Counter = Counter()
+
+        self.resolver = CachingResolver(
+            [
+                DnsServer(self.web.zone, latency=0.15, name=f"dns{i}")
+                for i in range(self.config.dns_servers)
+            ],
+            self.clock,
+            seed=self.config.seed,
+        )
+        self.frontier = CrawlFrontier(
+            incoming_limit=self.config.incoming_queue_limit,
+            outgoing_limit=self.config.outgoing_queue_limit,
+            refill_batch=self.config.outgoing_refill_batch,
+            prefetch=self._prefetch_dns,
+        )
+        self.dedup = DuplicateDetector()
+        self.documents: list[CrawledDocument] = []
+        self._url_to_doc: dict[str, int] = {}
+        self._hosts: dict[str, _HostState] = {}
+        self._domains: dict[str, _DomainState] = {}
+        self._docs_since_retrain = 0
+        self._log_sequence = 0
+
+    # ------------------------------------------------------------------
+    # frontier helpers
+    # ------------------------------------------------------------------
+
+    def _prefetch_dns(self, url: str) -> bool:
+        """Frontier refill hook: warm the DNS cache; False drops the URL."""
+        parsed = parse_url(url)
+        if parsed is None:
+            return False
+        try:
+            self.resolver.resolve(parsed.host)
+        except DNSError:
+            return False
+        return True
+
+    def seed(self, urls: list[str], topic: str, depth: int = 0,
+             priority: float = 1.0) -> None:
+        """Enqueue seed URLs for a topic."""
+        for url in urls:
+            normalized = normalize_url(url)
+            if normalized is None:
+                continue
+            self.frontier.push(
+                QueueEntry(
+                    url=normalized, topic=topic, priority=priority,
+                    depth=depth,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # host management
+    # ------------------------------------------------------------------
+
+    def _host_state(self, host: str) -> _HostState:
+        state = self._hosts.get(host)
+        if state is None:
+            state = _HostState()
+            self._hosts[host] = state
+        return state
+
+    def _host_has_capacity(self, host: str) -> bool:
+        state = self._host_state(host)
+        now = self.clock.now
+        state.busy_until = [t for t in state.busy_until if t > now]
+        return len(state.busy_until) < self.config.max_parallel_per_host
+
+    def _domain_state(self, domain: str) -> _DomainState:
+        state = self._domains.get(domain)
+        if state is None:
+            state = _DomainState()
+            self._domains[domain] = state
+        return state
+
+    def _domain_has_capacity(self, domain: str) -> bool:
+        """Politeness cap per registrable domain (paper 5.1: 5 parallel)."""
+        state = self._domain_state(domain)
+        now = self.clock.now
+        state.busy_until = [t for t in state.busy_until if t > now]
+        return len(state.busy_until) < self.config.max_parallel_per_domain
+
+    def _note_host_failure(self, host: str) -> None:
+        """Tag the host slow; after max_retries failures it becomes bad."""
+        state = self._host_state(host)
+        state.failures += 1
+        state.slow = True
+        if state.failures >= self.config.max_retries:
+            state.bad = True
+
+    # ------------------------------------------------------------------
+    # the crawl loop
+    # ------------------------------------------------------------------
+
+    def crawl(self, phase: PhaseSettings) -> CrawlStats:
+        """Run one phase until its budget or the frontier is exhausted."""
+        stats = CrawlStats()
+        started_at = self.clock.now
+        deadline = (
+            started_at + phase.time_budget
+            if phase.time_budget is not None
+            else None
+        )
+        while True:
+            if phase.fetch_budget is not None and (
+                stats.visited_urls >= phase.fetch_budget
+            ):
+                break
+            if deadline is not None and self.clock.now >= deadline:
+                break
+            entry = self.frontier.pop()
+            if entry is None:
+                break
+            self._visit(entry, phase, stats)
+        self.pool.drain()
+        stats.simulated_seconds = self.clock.now - started_at
+        if self.loader is not None:
+            self.loader.flush_all()
+        return stats
+
+    # ------------------------------------------------------------------
+
+    def _visit(self, entry: QueueEntry, phase: PhaseSettings,
+               stats: CrawlStats) -> None:
+        url = entry.url
+        if not is_crawlable_url(url):
+            stats.url_rejected += 1
+            return
+        parsed = parse_url(url)
+        assert parsed is not None  # is_crawlable_url guarantees it
+        if parsed.domain in self.config.locked_domains:
+            stats.locked_skipped += 1
+            return
+        host_state = self._host_state(parsed.host)
+        if host_state.bad:
+            stats.bad_host_skipped += 1
+            return
+        actual_url = url.split("#", 1)[0]
+        if not self._host_has_capacity(parsed.host):
+            # Politeness: all slots for this host are busy.  The crawler
+            # thread waits for the earliest one to free up (advancing the
+            # simulated clock), mirroring a blocked connection slot.
+            stats.politeness_defers += 1
+            self.clock.advance_to(min(host_state.busy_until))
+        if not self._domain_has_capacity(parsed.domain):
+            stats.politeness_defers += 1
+            self.clock.advance_to(
+                min(self._domain_state(parsed.domain).busy_until)
+            )
+
+        # DNS resolution (usually a cache hit thanks to prefetch)
+        try:
+            dns = self.resolver.resolve(parsed.host)
+        except DNSError:
+            stats.dns_failures += 1
+            self._note_host_failure(parsed.host)
+            return
+        # duplicate stage 2: IP + path
+        if self.dedup.is_known_ip_path(dns.ip, actual_url):
+            stats.duplicates_skipped += 1
+            return
+
+        result = self.web.server.fetch(actual_url)
+        duration = dns.latency + result.latency + PROCESSING_COST
+        start, end = self.pool.run(duration)
+        self._host_state(parsed.host).busy_until.append(end)
+        self._domain_state(parsed.domain).busy_until.append(end)
+        stats.visited_urls += 1
+        stats.hosts_visited.add(parsed.host)
+        stats.max_depth = max(stats.max_depth, entry.depth)
+        self._log_fetch(actual_url, result.status, result.latency)
+
+        if result.status in (FetchStatus.TIMEOUT, FetchStatus.HTTP_ERROR):
+            stats.fetch_errors += 1
+            self._note_host_failure(parsed.host)
+            if not self._host_state(parsed.host).bad:
+                stats.retries += 1
+                # allow the retry back through duplicate stage 2
+                self.dedup.forget_ip_path(dns.ip, actual_url)
+                self.frontier.push(
+                    QueueEntry(
+                        url=actual_url + f"#retry{self._host_state(parsed.host).failures}",
+                        topic=entry.topic,
+                        priority=entry.priority * 0.8,
+                        depth=entry.depth,
+                        tunnelled=entry.tunnelled,
+                        referrer_doc_id=entry.referrer_doc_id,
+                    )
+                )
+            return
+        if result.status != FetchStatus.OK:
+            stats.fetch_errors += 1
+            return
+
+        # redirects: register the chain, dedup the final URL (stage 1)
+        if result.redirect_chain and result.final_url != actual_url:
+            if self.dedup.register_redirect_target(result.final_url):
+                stats.duplicates_skipped += 1
+                return
+        # duplicate stage 3: IP + filesize
+        if self.dedup.is_known_ip_size(result.ip or "", result.size):
+            stats.duplicates_skipped += 1
+            return
+
+        # document-type management
+        policy = self.config.mime_policies.get(result.mime or "")
+        if policy is None or not policy.handled or result.html is None:
+            stats.mime_rejected += 1
+            return
+        if result.size > policy.max_size:
+            stats.size_rejected += 1
+            return
+
+        if entry.url != actual_url:
+            entry = replace(entry, url=actual_url)
+        self._process_document(entry, result, phase, stats)
+
+    # ------------------------------------------------------------------
+
+    def _process_document(self, entry, result, phase, stats) -> None:
+        # content handlers convert recognised formats to HTML (paper 2.2)
+        converted = self.handlers.convert(result.html, result.mime)
+        if converted is None:
+            stats.mime_rejected += 1
+            return
+        self.converted_formats[converted.source_format] += 1
+        html_doc = tokenize_html(converted.html)
+        analyzed = AnalyzedDocument(tokens=html_doc.tokens)
+        counts = {
+            name: space.extract(analyzed) for name, space in self.spaces.items()
+        }
+        self.classifier.ingest(counts)
+        classification = self.classifier.classify(
+            counts, mode=phase.decision_mode
+        )
+
+        resolved_links: list[str] = []
+        base = result.final_url or entry.url
+        for href in html_doc.links:
+            absolute = join_url(base, href)
+            if absolute is not None and is_crawlable_url(absolute):
+                resolved_links.append(absolute)
+        stats.extracted_links += len(resolved_links)
+
+        doc_id = len(self.documents)
+        document = CrawledDocument(
+            doc_id=doc_id,
+            url=entry.url,
+            final_url=result.final_url or entry.url,
+            page_id=result.page_id,
+            host=parse_url(entry.url).host,
+            ip=result.ip or "",
+            mime=result.mime or "",
+            size=result.size,
+            title=html_doc.title,
+            depth=entry.depth,
+            topic=classification.topic,
+            confidence=classification.confidence,
+            counts=counts,
+            out_urls=resolved_links,
+            fetched_at=self.clock.now,
+        )
+        self.documents.append(document)
+        self._url_to_doc[document.final_url] = doc_id
+        stats.stored_pages += 1
+        self._store_rows(document, html_doc)
+
+        accepted = classification.accepted
+        if accepted:
+            stats.positively_classified += 1
+        self._enqueue_links(entry, document, classification, phase)
+
+        if self.on_document is not None:
+            self.on_document(document, classification)
+        if accepted:
+            self._docs_since_retrain += 1
+            if (
+                self.on_retrain is not None
+                and self._docs_since_retrain >= self.config.retrain_interval
+            ):
+                self._docs_since_retrain = 0
+                self.on_retrain()
+
+    def _log_fetch(self, url: str, status: str, latency: float) -> None:
+        if self.loader is None:
+            return
+        self._log_sequence += 1
+        self.loader.add(
+            self._log_sequence % self.config.crawler_threads,
+            "crawl_log",
+            {
+                "seq": self._log_sequence,
+                "url": url,
+                "status": status,
+                "latency": float(latency),
+                "at": self.clock.now,
+            },
+        )
+
+    def _store_rows(self, document: CrawledDocument, html_doc) -> None:
+        if self.loader is None:
+            return
+        thread = document.doc_id % self.config.crawler_threads
+        self.loader.add(thread, "documents", {
+            "doc_id": document.doc_id,
+            "url": document.url,
+            "host": document.host,
+            "mime": document.mime,
+            "size": document.size,
+            "title": document.title,
+            "topic": document.topic,
+            "confidence": document.confidence,
+            "crawl_depth": document.depth,
+            "fetched_at": document.fetched_at,
+            "page_id": document.page_id,
+        })
+        term_counts = document.counts.get("term", Counter())
+        for term, tf in term_counts.items():
+            self.loader.add(thread, "terms", {
+                "doc_id": document.doc_id, "term": term, "tf": int(tf),
+            })
+        for position, dst in enumerate(document.out_urls):
+            self.loader.add(thread, "links", {
+                "src_doc_id": document.doc_id,
+                "dst_url": f"{dst}#{position}" if dst in document.out_urls[:position] else dst,
+                "dst_doc_id": None,
+            })
+        for href, terms in html_doc.anchor_terms.items():
+            for term, tf in Counter(terms).items():
+                self.loader.add(thread, "anchor_texts", {
+                    "src_doc_id": document.doc_id,
+                    "dst_url": href,
+                    "term": term,
+                    "tf": int(tf),
+                })
+
+    # ------------------------------------------------------------------
+
+    def _enqueue_links(
+        self,
+        entry: QueueEntry,
+        document: CrawledDocument,
+        classification: ClassificationResult,
+        phase: PhaseSettings,
+    ) -> None:
+        accepted = classification.accepted
+        topic = classification.topic
+        if accepted:
+            if phase.focus == SHARP and topic != entry.topic:
+                # sharp focus: only links whose source stayed in the
+                # queue's class are followed (class(p) == class(q)).
+                follow = False
+            else:
+                follow = True
+            tunnelled = 0
+        else:
+            follow = phase.tunnelling and (
+                entry.tunnelled < self.config.max_tunnelling_distance
+            )
+            tunnelled = entry.tunnelled + 1
+            topic = entry.topic  # tunnelled links stay in the source queue
+        if not follow:
+            return
+        depth = entry.depth + 1
+        if phase.max_depth is not None and depth > phase.max_depth:
+            return
+        if phase.depth_first:
+            priority = float(depth)
+        else:
+            priority = max(classification.confidence, 0.0)
+        if tunnelled:
+            priority *= self.config.tunnel_priority_decay ** tunnelled
+        for url in document.out_urls:
+            parsed = parse_url(url)
+            if parsed is None:
+                continue
+            if parsed.domain in self.config.locked_domains:
+                continue
+            if (
+                phase.allowed_domains is not None
+                and parsed.domain not in phase.allowed_domains
+            ):
+                continue
+            if self.dedup.is_known_url(url):
+                continue
+            self.frontier.push(
+                QueueEntry(
+                    url=url,
+                    topic=topic,
+                    priority=priority,
+                    depth=depth,
+                    tunnelled=tunnelled,
+                    referrer_doc_id=document.doc_id,
+                )
+            )
+
+    # ------------------------------------------------------------------
+
+    def document_by_url(self, url: str) -> CrawledDocument | None:
+        doc_id = self._url_to_doc.get(url)
+        return self.documents[doc_id] if doc_id is not None else None

@@ -1,0 +1,609 @@
+"""The BINGO! engine: bootstrap, learning phase, retraining, harvesting.
+
+Ties together every component exactly as Figure 1 of the paper wires
+them: seeds bootstrap the topic tree and classifier; the **learning
+phase** crawls depth-first with a sharp focus near the seed domains to
+find archetypes; link analysis plus SVM confidence select archetypes for
+**retraining**; the **harvesting phase** then crawls breadth-first with a
+soft focus, tunnelling, and SVM-confidence URL priorities to maximise
+recall (paper sections 2.6 and 3.3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.analysis.distillation import bharat_henzinger
+from repro.analysis.graph import LinkGraph
+from repro.core.archetypes import select_archetypes
+from repro.core.classifier import HierarchicalClassifier
+from repro.core.config import BingoConfig
+from repro.core.crawler import (
+    SHARP,
+    SOFT,
+    CrawledDocument,
+    CrawlStats,
+    FocusedCrawler,
+    PhaseSettings,
+)
+from repro.core.frontier import QueueEntry
+from repro.core.ontology import TopicTree
+from repro.errors import CrawlError
+from repro.storage.bulkloader import BulkLoader
+from repro.storage.database import Database
+from repro.text.features import AnalyzedDocument, FeatureSpace, TermSpace
+from repro.text.tokenizer import tokenize_html
+from repro.web.urls import normalize_url, parse_url
+
+__all__ = ["ArchetypeReview", "PhaseReport", "CrawlReport", "BingoEngine"]
+
+
+@dataclass
+class PhaseReport:
+    """Outcome of one crawl phase."""
+
+    name: str
+    stats: CrawlStats
+    retrainings: int = 0
+    archetypes_added: int = 0
+    archetypes_removed: int = 0
+
+
+@dataclass
+class CrawlReport:
+    """Everything an experiment needs after a full engine run."""
+
+    phases: list[PhaseReport] = field(default_factory=list)
+
+    @property
+    def total(self) -> CrawlStats:
+        merged = CrawlStats()
+        for phase in self.phases:
+            s = phase.stats
+            merged.visited_urls += s.visited_urls
+            merged.stored_pages += s.stored_pages
+            merged.extracted_links += s.extracted_links
+            merged.positively_classified += s.positively_classified
+            merged.hosts_visited |= s.hosts_visited
+            merged.max_depth = max(merged.max_depth, s.max_depth)
+            merged.fetch_errors += s.fetch_errors
+            merged.duplicates_skipped += s.duplicates_skipped
+            merged.simulated_seconds += s.simulated_seconds
+        return merged
+
+    def table1_row(self) -> dict[str, int]:
+        return self.total.table1_row()
+
+
+@dataclass
+class _TrainingRecord:
+    counts: dict[str, Counter]
+    confidence: float = 0.0
+    protected: bool = False
+    doc_id: int | None = None
+    """Crawler doc_id for promoted archetypes; None for seeds/negatives."""
+
+
+@dataclass
+class ArchetypeReview:
+    """A user's verdict on one topic's promoted archetypes (paper 2.6).
+
+    "The user can intellectually identify archetypes among the documents
+    found so far and may even trim individual HTML pages to remove
+    irrelevant and potentially diluting parts."
+    """
+
+    confirmed: set[int] = field(default_factory=set)
+    """doc_ids the user vouches for -- they become protected."""
+    rejected: set[int] = field(default_factory=set)
+    """doc_ids dropped from the training set."""
+    trimmed: dict[int, dict[str, Counter]] = field(default_factory=dict)
+    """doc_id -> replacement feature counts after the user cut away the
+    off-topic parts of the page."""
+
+
+class BingoEngine:
+    """A configured BINGO! instance bound to one (synthetic) Web."""
+
+    def __init__(
+        self,
+        web,
+        tree: TopicTree,
+        seeds: dict[str, list[str]],
+        config: BingoConfig | None = None,
+        spaces: dict[str, FeatureSpace] | None = None,
+    ) -> None:
+        """``seeds`` maps full topic names to seed URL lists."""
+        self.web = web
+        self.tree = tree
+        self.seeds = {
+            topic: [u for u in (normalize_url(url) for url in urls) if u]
+            for topic, urls in seeds.items()
+        }
+        self.config = config or BingoConfig()
+        self.config.validate()
+        self.spaces = spaces or {"term": TermSpace()}
+        self.classifier = HierarchicalClassifier(
+            tree, self.config, spaces=list(self.spaces)
+        )
+        self.database = Database(validate=self.config.validate_storage)
+        self.loader = BulkLoader(
+            self.database, batch_size=self.config.bulk_batch_size
+        )
+        self.crawler = FocusedCrawler(
+            web,
+            self.classifier,
+            self.config,
+            spaces=self.spaces,
+            loader=self.loader,
+            on_retrain=self._retrain,
+        )
+        self.training: dict[str, dict[str, _TrainingRecord]] = {}
+        self.retrainings = 0
+        self.archetypes_added = 0
+        self.archetypes_removed = 0
+        self.skipped_seeds: list[str] = []
+        self._bootstrapped = False
+        self._active_allowed_domains: frozenset[str] | None = None
+
+    # ------------------------------------------------------------------
+    # constructors for the paper's two scenarios
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_portal(
+        cls,
+        web,
+        topics: list[str] | None = None,
+        config: BingoConfig | None = None,
+        seed_count: int = 2,
+        spaces: dict[str, FeatureSpace] | None = None,
+    ) -> "BingoEngine":
+        """Portal generation: seed with top researcher homepages (5.2)."""
+        topics = topics or [web.config.target_topic]
+        tree = TopicTree.from_leaves(topics)
+        seeds = {
+            f"ROOT/{topic}": web.seed_homepages(seed_count, topic=topic)
+            for topic in topics
+        }
+        config = config or BingoConfig()
+        # Lock the DBLP domain (paper 5.2: "we locked the DBLP domain and
+        # the domains of its 7 official mirrors").  Search engines are
+        # additionally locked at the server level.
+        locked = set(config.locked_domains)
+        locked.add("example.org")
+        config.locked_domains = tuple(sorted(locked))
+        return cls(web, tree, seeds, config, spaces=spaces)
+
+    @classmethod
+    def for_expert(
+        cls,
+        web,
+        seed_urls: list[str],
+        topic: str = "aries",
+        config: BingoConfig | None = None,
+        spaces: dict[str, FeatureSpace] | None = None,
+    ) -> "BingoEngine":
+        """Expert search: single-topic tree seeded from external results."""
+        tree = TopicTree.from_leaves([topic])
+        config = config or BingoConfig()
+        return cls(web, tree, {f"ROOT/{topic}": seed_urls}, config, spaces=spaces)
+
+    # ------------------------------------------------------------------
+    # bootstrap
+    # ------------------------------------------------------------------
+
+    def _analyze_html(self, html: str, mime: str | None = None) -> dict[str, Counter]:
+        converted = self.crawler.handlers.convert(html, mime)
+        text = converted.html if converted is not None else html
+        doc = AnalyzedDocument(tokens=tokenize_html(text).tokens)
+        return {name: space.extract(doc) for name, space in self.spaces.items()}
+
+    def bootstrap(self) -> None:
+        """Fetch seed documents, populate OTHERS, train the first model."""
+        if self._bootstrapped:
+            return
+        for topic, urls in self.seeds.items():
+            if topic not in self.tree:
+                raise CrawlError(f"seed topic {topic!r} not in the tree")
+            bucket = self.training.setdefault(topic, {})
+            for url in urls:
+                # the user fetches seeds by hand; transient failures are
+                # simply retried a few times
+                result = None
+                for _attempt in range(3):
+                    result = self.web.server.fetch(url)
+                    if result.ok and result.html is not None:
+                        break
+                if result is None or not result.ok or result.html is None:
+                    self.skipped_seeds.append(url)
+                    continue
+                counts = self._analyze_html(result.html, result.mime)
+                self.classifier.ingest(counts)
+                bucket[url] = _TrainingRecord(counts=counts, protected=True)
+            if not bucket:
+                raise CrawlError(
+                    f"no seed of topic {topic!r} was fetchable "
+                    f"(skipped: {self.skipped_seeds})"
+                )
+        self._populate_others()
+        self._train()
+        self._bootstrapped = True
+
+    def _populate_others(self) -> None:
+        """Systematic negative examples from directory pages (section 3.1)."""
+        negatives = self.web.negative_example_pages(
+            self.config.negative_examples, seed=self.config.seed
+        )
+        records = {}
+        for page in negatives:
+            html = self.web.renderer.render(page)
+            counts = self._analyze_html(html)
+            self.classifier.ingest(counts)
+            records[page.url] = _TrainingRecord(counts=counts, protected=True)
+        for parent in self.tree.inner_nodes():
+            others = self.tree.others_of(parent)
+            self.training.setdefault(others, {}).update(records)
+
+    def _train(self) -> None:
+        training_sets = {
+            topic: [record.counts for record in records.values()]
+            for topic, records in self.training.items()
+        }
+        self.classifier.train(training_sets)
+        self._refresh_training_confidences()
+
+    def _refresh_training_confidences(self) -> None:
+        """Re-score training docs under the new model (paper 2.4: training
+        documents get a confidence too, by running them through the
+        trained decision model)."""
+        for topic, records in self.training.items():
+            if topic.endswith("/OTHERS") or topic not in self.classifier.models:
+                continue
+            for record in records.values():
+                record.confidence = self.classifier.confidence_for(
+                    record.counts, topic
+                )
+
+    # ------------------------------------------------------------------
+    # retraining with archetypes
+    # ------------------------------------------------------------------
+
+    def _topic_documents(self, topic: str) -> list[CrawledDocument]:
+        return [
+            doc for doc in self.crawler.documents if doc.topic == topic
+        ]
+
+    def _link_graph_for(self, docs: list[CrawledDocument]) -> LinkGraph:
+        """Base set + successors/predecessors graph over crawled docs."""
+        graph = LinkGraph()
+        url_to_doc = {doc.final_url: doc for doc in self.crawler.documents}
+        base_ids = {doc.doc_id for doc in docs}
+        members = set(base_ids)
+        # successors: out-links resolving to crawled documents
+        for doc in docs:
+            for url in doc.out_urls:
+                target = url_to_doc.get(url)
+                if target is not None:
+                    members.add(target.doc_id)
+        # predecessors: crawled documents linking into the base set
+        base_urls = {doc.final_url for doc in docs}
+        for doc in self.crawler.documents:
+            if doc.doc_id in members:
+                continue
+            if any(url in base_urls for url in doc.out_urls):
+                members.add(doc.doc_id)
+        for doc_id in members:
+            doc = self.crawler.documents[doc_id]
+            graph.add_node(doc_id, host=doc.host)
+        for doc_id in members:
+            doc = self.crawler.documents[doc_id]
+            for url in doc.out_urls:
+                target = url_to_doc.get(url)
+                if target is not None and target.doc_id in members:
+                    graph.add_edge(doc_id, target.doc_id)
+        return graph
+
+    def _retrain(self) -> None:
+        """Archetype selection + classifier retraining (sections 2.6, 3.2)."""
+        changed = False
+        for topic in self.tree.real_topics():
+            if self.tree.children_of(topic):
+                continue  # archetypes attach to leaf topics
+            docs = self._topic_documents(topic)
+            if not docs:
+                continue
+            graph = self._link_graph_for(docs)
+            relevance = {
+                doc.doc_id: max(doc.confidence, 0.0) + 0.05
+                for doc in self.crawler.documents
+                if doc.doc_id in graph.successors
+            }
+            analysis = bharat_henzinger(graph, relevance=relevance)
+            topic_ids = {doc.doc_id for doc in docs}
+            authority_candidates = [
+                (doc_id, score)
+                for doc_id, score in analysis.top_authorities(
+                    self.config.top_authorities * 3
+                )
+                if doc_id in topic_ids
+            ][: self.config.top_authorities]
+            confidence_candidates = [
+                (doc.doc_id, doc.confidence)
+                for doc in sorted(
+                    docs, key=lambda d: -d.confidence
+                )[: self.config.max_archetypes_per_topic]
+            ]
+            records = self.training.setdefault(topic, {})
+            training_confidences = {
+                record.doc_id if record.doc_id is not None else -(i + 1):
+                    record.confidence
+                for i, record in enumerate(records.values())
+            }
+            protected = {
+                record.doc_id if record.doc_id is not None else -(i + 1)
+                for i, record in enumerate(records.values())
+                if record.protected
+            }
+            document_confidences = {
+                doc.doc_id: doc.confidence for doc in self.crawler.documents
+            }
+            enforce = (
+                self.config.enforce_archetype_threshold
+                and len(records) >= self.config.archetype_threshold_warmup
+            )
+            decision = select_archetypes(
+                confidence_candidates,
+                authority_candidates,
+                training_confidences,
+                document_confidences,
+                max_new=self.config.max_archetypes_per_topic,
+                enforce_threshold=enforce,
+                confidence_factor=self.config.archetype_confidence_factor,
+                protected=protected,
+                cap_by_min=enforce,
+            )
+            for doc_id, confidence, source in decision.added:
+                doc = self.crawler.documents[doc_id]
+                existing = records.get(doc.final_url)
+                records[doc.final_url] = _TrainingRecord(
+                    counts=doc.counts, confidence=confidence,
+                    doc_id=doc_id,
+                    # a re-crawled seed stays protected
+                    protected=existing.protected if existing else False,
+                )
+                self.database["archetypes"].upsert({
+                    "topic": topic, "doc_id": doc_id, "source": source,
+                    "score": confidence, "iteration": self.retrainings,
+                })
+                changed = True
+            if decision.removed:
+                removed_ids = set(decision.removed)
+                for key in [
+                    key for key, record in records.items()
+                    if record.doc_id in removed_ids
+                ]:
+                    del records[key]
+                    changed = True
+            self.archetypes_added += len(decision.added)
+            self.archetypes_removed += len(decision.removed)
+            # push uncrawled out-links of the best hubs (section 2.5)
+            self._enqueue_hub_links(topic, analysis)
+        if changed:
+            self._train()
+        self.retrainings += 1
+
+    def _enqueue_hub_links(self, topic: str, analysis) -> None:
+        allowed = self._active_allowed_domains
+        for doc_id, score in analysis.top_hubs(self.config.top_hubs):
+            doc = self.crawler.documents[doc_id]
+            for url in doc.out_urls:
+                if allowed is not None:
+                    parsed = parse_url(url)
+                    if parsed is None or parsed.domain not in allowed:
+                        continue
+                if self.crawler.document_by_url(url) is not None:
+                    continue
+                if self.crawler.dedup.is_known_url(url):
+                    continue
+                self.crawler.frontier.push(
+                    QueueEntry(
+                        url=url, topic=topic,
+                        priority=10.0 + score,  # high-priority end
+                        depth=doc.depth + 1,
+                        referrer_doc_id=doc_id,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+
+    def _seed_domains(self) -> frozenset[str]:
+        domains = set()
+        for urls in self.seeds.values():
+            for url in urls:
+                parsed = parse_url(url)
+                if parsed is not None:
+                    domains.add(parsed.domain)
+        return frozenset(domains)
+
+    def run_learning_phase(
+        self, fetch_budget: int | None = None
+    ) -> PhaseReport:
+        """Sharp-focus, depth-first crawl near the seeds (section 3.3)."""
+        self.bootstrap()
+        for topic, urls in self.seeds.items():
+            self.crawler.seed(urls, topic=topic, priority=100.0)
+        settings = PhaseSettings(
+            name="learning",
+            focus=SHARP,
+            decision_mode=self.config.learning_decision_mode,
+            tunnelling=True,
+            depth_first=True,
+            max_depth=self.config.learning_max_depth,
+            allowed_domains=(
+                self._seed_domains()
+                if self.config.restrict_learning_to_seed_domains
+                else None
+            ),
+            fetch_budget=fetch_budget or self.config.learning_fetch_budget,
+        )
+        self._active_allowed_domains = settings.allowed_domains
+        before_added = self.archetypes_added
+        before_removed = self.archetypes_removed
+        before_retrain = self.retrainings
+        stats = self.crawler.crawl(settings)
+        # end-of-phase retraining (always, even below the interval)
+        self._retrain()
+        return PhaseReport(
+            name="learning",
+            stats=stats,
+            retrainings=self.retrainings - before_retrain,
+            archetypes_added=self.archetypes_added - before_added,
+            archetypes_removed=self.archetypes_removed - before_removed,
+        )
+
+    def run_harvesting_phase(
+        self,
+        time_budget: float | None = None,
+        fetch_budget: int | None = None,
+    ) -> PhaseReport:
+        """Soft-focus breadth-first crawl for recall (section 3.3)."""
+        if not self._bootstrapped:
+            raise CrawlError("run the learning phase (or bootstrap) first")
+        self._reseed_external_links()
+        settings = PhaseSettings(
+            name="harvesting",
+            focus=SOFT,
+            decision_mode=self.config.harvesting_decision_mode,
+            tunnelling=True,
+            depth_first=False,
+            max_depth=None,
+            allowed_domains=None,
+            fetch_budget=fetch_budget,
+            time_budget=time_budget,
+        )
+        self._active_allowed_domains = settings.allowed_domains
+        before_added = self.archetypes_added
+        before_removed = self.archetypes_removed
+        before_retrain = self.retrainings
+        stats = self.crawler.crawl(settings)
+        return PhaseReport(
+            name="harvesting",
+            stats=stats,
+            retrainings=self.retrainings - before_retrain,
+            archetypes_added=self.archetypes_added - before_added,
+            archetypes_removed=self.archetypes_removed - before_removed,
+        )
+
+    def _reseed_external_links(self) -> None:
+        """Re-enqueue stored documents' links dropped by the learning
+        phase's domain restriction (the harvest has no such restriction)."""
+        for doc in self.crawler.documents:
+            if not doc.topic.endswith("/OTHERS"):
+                priority = max(doc.confidence, 0.0)
+                for url in doc.out_urls:
+                    if self.crawler.frontier.has_seen(url):
+                        continue
+                    if self.crawler.dedup.is_known_url(url):
+                        continue
+                    self.crawler.frontier.push(
+                        QueueEntry(
+                            url=url, topic=doc.topic, priority=priority,
+                            depth=doc.depth + 1, referrer_doc_id=doc.doc_id,
+                        )
+                    )
+
+    @property
+    def needs_feedback(self) -> bool:
+        """True when the learning phase found too few archetypes and a
+        user feedback step is advisable before the expensive harvest
+        (paper 2.6)."""
+        return self.archetypes_added < self.config.min_archetypes_to_harvest
+
+    def apply_archetype_review(
+        self, reviewer: "callable", retrain: bool = True
+    ) -> int:
+        """The user-feedback step between learning and harvesting.
+
+        ``reviewer(topic, documents)`` receives each leaf topic's
+        promoted archetypes (as :class:`CrawledDocument` objects) and
+        returns an :class:`ArchetypeReview`.  Confirmed archetypes become
+        protected training data, rejected ones are dropped, trimmed ones
+        get their replacement feature counts.  Returns the number of
+        training records changed.
+        """
+        changed = 0
+        for topic in self.tree.real_topics():
+            if self.tree.children_of(topic):
+                continue
+            records = self.training.get(topic, {})
+            promoted = [
+                self.crawler.documents[record.doc_id]
+                for record in records.values()
+                if record.doc_id is not None
+            ]
+            if not promoted:
+                continue
+            review = reviewer(topic, promoted)
+            if review is None:
+                continue
+            for key in list(records):
+                record = records[key]
+                if record.doc_id is None:
+                    continue
+                if record.doc_id in review.rejected:
+                    del records[key]
+                    changed += 1
+                    continue
+                if record.doc_id in review.trimmed:
+                    record.counts = review.trimmed[record.doc_id]
+                    changed += 1
+                if record.doc_id in review.confirmed:
+                    if not record.protected:
+                        changed += 1
+                    record.protected = True
+        if changed and retrain:
+            self._train()
+        return changed
+
+    def run(
+        self,
+        learning_fetch_budget: int | None = None,
+        harvesting_time_budget: float | None = None,
+        harvesting_fetch_budget: int | None = None,
+        archetype_reviewer: "callable | None" = None,
+    ) -> CrawlReport:
+        """Full pipeline: bootstrap -> learning -> [user feedback] ->
+        harvesting.
+
+        ``archetype_reviewer`` implements the optional feedback step of
+        paper section 2.6, invoked between the phases.
+        """
+        report = CrawlReport()
+        report.phases.append(
+            self.run_learning_phase(fetch_budget=learning_fetch_budget)
+        )
+        if archetype_reviewer is not None:
+            self.apply_archetype_review(archetype_reviewer)
+        report.phases.append(
+            self.run_harvesting_phase(
+                time_budget=harvesting_time_budget,
+                fetch_budget=harvesting_fetch_budget,
+            )
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # result access
+    # ------------------------------------------------------------------
+
+    def ranked_results(self, topic: str) -> list[CrawledDocument]:
+        """Crawled documents of ``topic`` by descending SVM confidence."""
+        docs = [doc for doc in self.crawler.documents if doc.topic == topic]
+        return sorted(docs, key=lambda d: (-d.confidence, d.doc_id))
+
+    def ranked_result_urls(self, topic: str) -> list[str]:
+        return [doc.final_url for doc in self.ranked_results(topic)]

@@ -1,0 +1,143 @@
+"""The crawl frontier: per-topic incoming/outgoing queues on RB trees.
+
+Paper section 4.2: "the queue manager maintains several queues, one
+(large) incoming and one (small) outgoing queue for each topic,
+implemented as Red-Black trees. ... The engine controls the sizes of
+queues and starts the asynchronous DNS resolution for a small number of
+the best incoming links when the outgoing queue is not sufficiently
+filled.  So expensive DNS lookups are initiated only for promising crawl
+candidates."
+
+URLs are prioritised by SVM confidence; tunnelled links decay by a
+constant factor per tunnelling step.  Bounded queues evict their *worst*
+entry on overflow.  A URL is admitted to the frontier at most once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.rbtree import RedBlackTree
+
+__all__ = ["QueueEntry", "CrawlFrontier"]
+
+
+@dataclass(frozen=True)
+class QueueEntry:
+    """One URL waiting to be crawled."""
+
+    url: str
+    topic: str
+    priority: float
+    depth: int
+    tunnelled: int = 0
+    """Consecutive link steps taken from a *rejected* document."""
+    referrer_doc_id: int | None = None
+
+
+@dataclass
+class _TopicQueues:
+    incoming: RedBlackTree = field(default_factory=RedBlackTree)
+    outgoing: RedBlackTree = field(default_factory=RedBlackTree)
+
+
+class CrawlFrontier:
+    """Bounded, prioritised, DNS-prefetching URL frontier."""
+
+    def __init__(
+        self,
+        incoming_limit: int = 25_000,
+        outgoing_limit: int = 1_000,
+        refill_batch: int = 50,
+        prefetch: Callable[[str], bool] | None = None,
+    ) -> None:
+        """``prefetch(url) -> bool`` warms the DNS cache for a promising
+        candidate; returning False drops the URL (unresolvable host)."""
+        if incoming_limit < 1 or outgoing_limit < 1 or refill_batch < 1:
+            raise ValueError("queue limits and refill batch must be >= 1")
+        self.incoming_limit = incoming_limit
+        self.outgoing_limit = outgoing_limit
+        self.refill_batch = refill_batch
+        self.prefetch = prefetch
+        self._queues: dict[str, _TopicQueues] = {}
+        self._seen_urls: set[str] = set()
+        self._sequence = 0
+        # statistics
+        self.enqueued = 0
+        self.duplicate_drops = 0
+        self.evictions = 0
+        self.dns_drops = 0
+
+    # -- write side ---------------------------------------------------------
+
+    def push(self, entry: QueueEntry) -> bool:
+        """Admit a URL; returns False for URLs already seen (or evicted)."""
+        if entry.url in self._seen_urls:
+            self.duplicate_drops += 1
+            return False
+        self._seen_urls.add(entry.url)
+        queues = self._queues.setdefault(entry.topic, _TopicQueues())
+        self._sequence += 1
+        key = (entry.priority, -self._sequence)
+        queues.incoming.insert(key, entry)
+        self.enqueued += 1
+        if len(queues.incoming) > self.incoming_limit:
+            queues.incoming.pop_min()  # evict the worst candidate
+            self.evictions += 1
+        return True
+
+    # -- read side -----------------------------------------------------------
+
+    def _refill(self, queues: _TopicQueues) -> None:
+        """Move the best incoming links to outgoing, prefetching DNS."""
+        moved = 0
+        while (
+            queues.incoming
+            and len(queues.outgoing) < self.outgoing_limit
+            and moved < self.refill_batch
+        ):
+            key, entry = queues.incoming.pop_max()
+            if self.prefetch is not None and not self.prefetch(entry.url):
+                self.dns_drops += 1
+                continue
+            queues.outgoing.insert(key, entry)
+            moved += 1
+
+    def pop(self) -> QueueEntry | None:
+        """The globally best URL across topics, or None when empty."""
+        best_topic: str | None = None
+        best_key = None
+        for topic, queues in self._queues.items():
+            if not queues.outgoing:
+                self._refill(queues)
+            if not queues.outgoing:
+                continue
+            key, _entry = queues.outgoing.peek_max()
+            if best_key is None or key > best_key:
+                best_key = key
+                best_topic = topic
+        if best_topic is None:
+            return None
+        _key, entry = self._queues[best_topic].outgoing.pop_max()
+        return entry
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(
+            len(q.incoming) + len(q.outgoing) for q in self._queues.values()
+        )
+
+    def pending_for(self, topic: str) -> int:
+        queues = self._queues.get(topic)
+        if queues is None:
+            return 0
+        return len(queues.incoming) + len(queues.outgoing)
+
+    def has_seen(self, url: str) -> bool:
+        return url in self._seen_urls
+
+    @property
+    def topics(self) -> list[str]:
+        return sorted(self._queues)

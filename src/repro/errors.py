@@ -1,0 +1,48 @@
+"""Exception hierarchy for the BINGO! reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to guard any library call.  Subsystems raise
+their own subclass to keep failure provenance obvious in tracebacks.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class StorageError(ReproError):
+    """The embedded store rejected an operation (unknown relation, key clash...)."""
+
+
+class SchemaError(StorageError):
+    """A row did not match its relation's declared columns."""
+
+
+class CrawlError(ReproError):
+    """The crawler could not proceed (e.g. exhausted frontier at startup)."""
+
+
+class FetchError(CrawlError):
+    """A simulated fetch failed terminally (timeouts, HTTP errors, size caps)."""
+
+
+class DNSError(CrawlError):
+    """The simulated resolver could not resolve a hostname."""
+
+
+class TrainingError(ReproError):
+    """A classifier could not be trained (no examples, degenerate labels...)."""
+
+
+class OntologyError(ReproError):
+    """The topic tree was malformed or a lookup named an unknown topic."""
+
+
+class SearchError(ReproError):
+    """The local search engine rejected a query or ranking specification."""

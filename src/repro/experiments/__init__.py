@@ -1,0 +1,22 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Each module is a self-contained driver used by both ``benchmarks/`` and
+``examples/``:
+
+* :mod:`repro.experiments.portal` -- Table 1 (crawl summary) and Tables
+  2/3 (portal precision/recall vs the DBLP-style registry);
+* :mod:`repro.experiments.expert` -- Figures 4/5 (expert-search seeds and
+  the post-processed top-10);
+* :mod:`repro.experiments.meta_bench` -- the section 3.5 claim that meta
+  classification lifts precision from ~80% to >90%;
+* :mod:`repro.experiments.featsel` -- MI feature-selection quality
+  (section 2.3);
+* :mod:`repro.experiments.ablations` -- design-choice ablations (focus
+  rules and tunnelling, archetype thresholding, negative examples,
+  feature spaces);
+* :mod:`repro.experiments.reporting` -- plain-text table rendering.
+"""
+
+from repro.experiments.reporting import ExperimentTable
+
+__all__ = ["ExperimentTable"]

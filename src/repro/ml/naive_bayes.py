@@ -1,0 +1,95 @@
+"""Multinomial Naive Bayes classifier.
+
+One of the alternative decision models BINGO! can train per feature
+space for meta classification (paper sections 1.2 and 3.5 cite Naive
+Bayes as the classic supervised learner for text [15]).  The decision
+value is the log-odds ``log P(+|d) - log P(-|d)`` under the multinomial
+model with Laplace smoothing; its sign is the class, its magnitude the
+confidence.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from collections.abc import Sequence
+
+from repro.errors import TrainingError
+from repro.ml.common import BinaryClassifier, validate_training_input
+from repro.text.vectorizer import SparseVector
+
+__all__ = ["NaiveBayesClassifier"]
+
+
+class NaiveBayesClassifier(BinaryClassifier):
+    """Multinomial NB over sparse feature weights (weights act as counts)."""
+
+    name = "naive-bayes"
+
+    def __init__(self, smoothing: float = 1.0) -> None:
+        if smoothing <= 0:
+            raise TrainingError(f"smoothing must be positive, got {smoothing}")
+        self.smoothing = smoothing
+        self._log_prior = 0.0
+        self._log_likelihood: dict[str, float] | None = None
+        self._default_log_likelihood = 0.0
+
+    def fit(
+        self, vectors: Sequence[SparseVector], labels: Sequence[int]
+    ) -> "NaiveBayesClassifier":
+        y = validate_training_input(vectors, labels)
+        # Feature weights act as pseudo-counts.  tf*idf weights can be
+        # fractional, in which case Laplace smoothing would swamp the
+        # evidence -- rescale so the median weight is a healthy count.
+        all_weights = sorted(
+            w for v in vectors for _f, w in v if w > 0
+        )
+        scale = 1.0
+        if all_weights:
+            median = all_weights[len(all_weights) // 2]
+            if 0 < median < 2.0:
+                scale = 2.0 / median
+        totals = {1: 0.0, -1: 0.0}
+        counts: dict[int, dict[str, float]] = {1: defaultdict(float), -1: defaultdict(float)}
+        vocabulary: set[str] = set()
+        for vector, label in zip(vectors, y):
+            sign = 1 if label > 0 else -1
+            for feature, weight in vector:
+                if weight <= 0:
+                    continue
+                counts[sign][feature] += weight * scale
+                totals[sign] += weight * scale
+                vocabulary.add(feature)
+        v = max(len(vocabulary), 1)
+        n_positive = float((y > 0).sum())
+        n_negative = float((y < 0).sum())
+        self._log_prior = math.log(n_positive / n_negative)
+        denom_pos = totals[1] + self.smoothing * v
+        denom_neg = totals[-1] + self.smoothing * v
+        self._log_likelihood = {}
+        for feature in vocabulary:
+            log_p = math.log(
+                (counts[1][feature] + self.smoothing) / denom_pos
+            )
+            log_n = math.log(
+                (counts[-1][feature] + self.smoothing) / denom_neg
+            )
+            self._log_likelihood[feature] = log_p - log_n
+        # unseen features fall back to the smoothed ratio
+        self._default_log_likelihood = math.log(
+            self.smoothing / denom_pos
+        ) - math.log(self.smoothing / denom_neg)
+        return self
+
+    def decision(self, vector: SparseVector) -> float:
+        if self._log_likelihood is None:
+            raise TrainingError("classifier is not trained")
+        total = self._log_prior
+        for feature, weight in vector:
+            if weight <= 0:
+                continue
+            ratio = self._log_likelihood.get(feature)
+            if ratio is None:
+                continue  # unseen at training time: uninformative
+            total += weight * ratio
+        return total

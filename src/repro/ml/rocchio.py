@@ -1,0 +1,59 @@
+"""Rocchio (centroid) classifier.
+
+A cheap, robust prototype learner used as another meta-classifier member
+(model averaging works best over *diverse* decision functions, paper
+section 3.5).  The prototype is ``centroid(+) - beta * centroid(-)`` of
+unit-normalised training vectors; the decision is the difference of
+cosine similarities to the positive and negative centroids.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+
+from repro.errors import TrainingError
+from repro.ml.common import BinaryClassifier, validate_training_input
+from repro.text.vectorizer import SparseVector, cosine_similarity
+
+__all__ = ["RocchioClassifier"]
+
+
+class RocchioClassifier(BinaryClassifier):
+    """Nearest-centroid classifier over unit-normalised documents."""
+
+    name = "rocchio"
+
+    def __init__(self, beta: float = 1.0) -> None:
+        if beta < 0:
+            raise TrainingError(f"beta must be >= 0, got {beta}")
+        self.beta = beta
+        self._positive: SparseVector | None = None
+        self._negative: SparseVector | None = None
+
+    @staticmethod
+    def _centroid(vectors: list[SparseVector]) -> SparseVector:
+        sums: dict[str, float] = defaultdict(float)
+        for vector in vectors:
+            unit = vector.normalized()
+            for feature, weight in unit:
+                sums[feature] += weight
+        n = max(len(vectors), 1)
+        return SparseVector({f: w / n for f, w in sums.items()})
+
+    def fit(
+        self, vectors: Sequence[SparseVector], labels: Sequence[int]
+    ) -> "RocchioClassifier":
+        y = validate_training_input(vectors, labels)
+        positives = [v for v, label in zip(vectors, y) if label > 0]
+        negatives = [v for v, label in zip(vectors, y) if label < 0]
+        self._positive = self._centroid(positives)
+        self._negative = self._centroid(negatives)
+        return self
+
+    def decision(self, vector: SparseVector) -> float:
+        if self._positive is None or self._negative is None:
+            raise TrainingError("classifier is not trained")
+        return cosine_similarity(vector, self._positive) - self.beta * (
+            cosine_similarity(vector, self._negative)
+        )

@@ -1,0 +1,171 @@
+"""The local search engine over crawl results (paper section 3.6).
+
+Supports "both exact and vague filtering at user-selectable classes of
+the topic hierarchy" and three ranking schemes that "can be combined into
+a linear sum with appropriate weights":
+
+* **cosine** similarity between the query vector and document vectors;
+* **confidence** -- the classifier's SVM confidence in the class
+  assignment;
+* **authority** -- HITS authority scores over the filtered documents'
+  link graph.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.analysis.graph import LinkGraph
+from repro.analysis.hits import hits
+from repro.core.crawler import CrawledDocument
+from repro.errors import SearchError
+from repro.text.tokenizer import tokenize
+from repro.text.vectorizer import SparseVector, TfIdfVectorizer, cosine_similarity
+
+__all__ = ["RankingWeights", "RankedHit", "LocalSearchEngine"]
+
+
+@dataclass(frozen=True)
+class RankingWeights:
+    """Linear combination weights for the three ranking schemes."""
+
+    cosine: float = 1.0
+    confidence: float = 0.0
+    authority: float = 0.0
+
+    def validate(self) -> None:
+        if self.cosine < 0 or self.confidence < 0 or self.authority < 0:
+            raise SearchError("ranking weights must be non-negative")
+        if self.cosine + self.confidence + self.authority <= 0:
+            raise SearchError("at least one ranking weight must be positive")
+
+
+@dataclass(frozen=True)
+class RankedHit:
+    """One search result with its score decomposition."""
+
+    document: CrawledDocument
+    score: float
+    cosine: float
+    confidence: float
+    authority: float
+
+    @property
+    def url(self) -> str:
+        return self.document.final_url
+
+
+def _min_max_normalize(values: dict[int, float]) -> dict[int, float]:
+    if not values:
+        return {}
+    lo = min(values.values())
+    hi = max(values.values())
+    if hi <= lo:
+        return {k: 1.0 for k in values}
+    return {k: (v - lo) / (hi - lo) for k, v in values.items()}
+
+
+class LocalSearchEngine:
+    """Filter + rank over the crawler's stored documents."""
+
+    def __init__(self, documents: Sequence[CrawledDocument]) -> None:
+        self.documents = list(documents)
+        self.vectorizer = TfIdfVectorizer()
+        for document in self.documents:
+            self.vectorizer.ingest(document.counts.get("term", Counter()).keys())
+        self.vectorizer.refresh()
+        self._vectors: dict[int, SparseVector] = {
+            document.doc_id: self.vectorizer.vectorize_counts(
+                document.counts.get("term", Counter())
+            )
+            for document in self.documents
+        }
+
+    # -- filtering ----------------------------------------------------------
+
+    def filter(
+        self, topic: str | None = None, exact: bool = True
+    ) -> list[CrawledDocument]:
+        """Exact filter: the class itself; vague: the class's subtree."""
+        if topic is None:
+            return list(self.documents)
+        if exact:
+            return [d for d in self.documents if d.topic == topic]
+        prefix = topic + "/"
+        return [
+            d for d in self.documents
+            if d.topic == topic or d.topic.startswith(prefix)
+        ]
+
+    # -- ranking ------------------------------------------------------------
+
+    def _query_vector(self, query: str) -> SparseVector:
+        stems = [token.stem for token in tokenize(query)]
+        if not stems:
+            raise SearchError(f"query {query!r} has no indexable terms")
+        return self.vectorizer.vectorize(stems)
+
+    def _authority_scores(
+        self, documents: Sequence[CrawledDocument]
+    ) -> dict[int, float]:
+        url_to_doc = {d.final_url: d.doc_id for d in self.documents}
+        member_ids = {d.doc_id for d in documents}
+        graph = LinkGraph()
+        for document in documents:
+            graph.add_node(document.doc_id, host=document.host)
+            for url in document.out_urls:
+                target = url_to_doc.get(url)
+                if target is not None and target in member_ids:
+                    graph.add_edge(document.doc_id, target)
+        return hits(graph).authority
+
+    def search(
+        self,
+        query: str,
+        topic: str | None = None,
+        exact: bool = True,
+        weights: RankingWeights | None = None,
+        top_k: int = 10,
+    ) -> list[RankedHit]:
+        """Rank the filtered documents against ``query``.
+
+        Component scores are min-max normalised over the filtered set
+        before the weighted linear combination, so weights are comparable
+        across schemes.
+        """
+        weights = weights or RankingWeights()
+        weights.validate()
+        candidates = self.filter(topic, exact=exact)
+        if not candidates:
+            return []
+        query_vector = self._query_vector(query)
+        cosines = {
+            d.doc_id: cosine_similarity(query_vector, self._vectors[d.doc_id])
+            for d in candidates
+        }
+        confidences = _min_max_normalize(
+            {d.doc_id: d.confidence for d in candidates}
+        )
+        authorities = (
+            _min_max_normalize(self._authority_scores(candidates))
+            if weights.authority > 0
+            else {d.doc_id: 0.0 for d in candidates}
+        )
+        hits_list = [
+            RankedHit(
+                document=d,
+                score=(
+                    weights.cosine * cosines[d.doc_id]
+                    + weights.confidence * confidences.get(d.doc_id, 0.0)
+                    + weights.authority * authorities.get(d.doc_id, 0.0)
+                ),
+                cosine=cosines[d.doc_id],
+                confidence=confidences.get(d.doc_id, 0.0),
+                authority=authorities.get(d.doc_id, 0.0),
+            )
+            for d in candidates
+        ]
+        hits_list.sort(key=lambda hit: (-hit.score, hit.document.doc_id))
+        return hits_list[:top_k]

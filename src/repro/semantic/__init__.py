@@ -1,0 +1,28 @@
+"""Semantic XML layer (the paper's future work, section 6).
+
+"We plan to pursue approaches to generating 'semantically' tagged XML
+documents from the HTML pages that BINGO! crawls and investigate ways of
+incorporating ranked retrieval of XML data [21] in the result
+postprocessing."
+
+This package implements that extension:
+
+* :mod:`repro.semantic.xml_export` turns crawl results into semantically
+  tagged XML records (topic assignment, confidence, weighted terms,
+  links);
+* :mod:`repro.semantic.xml_query` provides XXL-style ranked retrieval
+  over those records: path patterns with attribute predicates and a
+  ``~`` similarity operator whose matches are scored, not boolean
+  (Theobald/Weikum, WebDB 2000 -- reference [21] of the paper).
+"""
+
+from repro.semantic.xml_export import XmlExporter, document_to_xml
+from repro.semantic.xml_query import QueryMatch, XmlQuery, parse_query
+
+__all__ = [
+    "QueryMatch",
+    "XmlExporter",
+    "XmlQuery",
+    "document_to_xml",
+    "parse_query",
+]

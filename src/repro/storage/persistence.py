@@ -1,0 +1,91 @@
+"""Database persistence: JSON-lines dump and restore.
+
+The paper's store is a server database that naturally survives the
+crawler process; the embedded store gains the same property through an
+explicit dump format -- one file per relation, one JSON object per row,
+plus a manifest.  Restores validate against the current schema, so a
+dump from an incompatible version fails loudly instead of silently
+corrupting a crawl.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.errors import StorageError
+from repro.storage.database import Database
+
+__all__ = ["dump_database", "load_database"]
+
+_MANIFEST = "manifest.json"
+_FORMAT_VERSION = 1
+
+
+def dump_database(database: Database, directory: str | pathlib.Path) -> int:
+    """Write every relation to ``directory``; returns the row count."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "relations": {},
+    }
+    total = 0
+    for name, relation in database.relations.items():
+        rows = relation.scan()
+        path = directory / f"{name}.jsonl"
+        with path.open("w", encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(json.dumps(row, sort_keys=True))
+                handle.write("\n")
+        manifest["relations"][name] = {
+            "rows": len(rows),
+            "columns": list(relation.schema.column_names),
+        }
+        total += len(rows)
+    (directory / _MANIFEST).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
+    )
+    return total
+
+
+def load_database(
+    directory: str | pathlib.Path, validate: bool = True
+) -> Database:
+    """Restore a database dumped by :func:`dump_database`."""
+    directory = pathlib.Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise StorageError(f"no manifest in {directory}")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported dump format {manifest.get('format_version')!r}"
+        )
+    database = Database(validate=validate)
+    for name, info in manifest["relations"].items():
+        relation = database.table(name)  # raises on unknown relation
+        expected = list(relation.schema.column_names)
+        if info.get("columns") != expected:
+            raise StorageError(
+                f"relation {name!r}: dump columns {info.get('columns')} "
+                f"do not match the current schema {expected}"
+            )
+        path = directory / f"{name}.jsonl"
+        if not path.exists():
+            if info["rows"]:
+                raise StorageError(f"missing dump file for {name!r}")
+            continue
+        rows = []
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    rows.append(json.loads(line))
+        if len(rows) != info["rows"]:
+            raise StorageError(
+                f"relation {name!r}: expected {info['rows']} rows, "
+                f"found {len(rows)}"
+            )
+        relation.bulk_insert(rows)
+    return database

@@ -1,0 +1,188 @@
+"""Relational schema of the BINGO! store.
+
+The paper's final design is "a schema with 24 flat relations" (section
+4.1).  The exact relation list is not published, so this module declares
+the 24 flat relations the system functionally needs -- documents, terms,
+features, links, crawl bookkeeping, training data, link-analysis results,
+postprocessing artifacts -- each with explicit column types, a primary
+key, and the secondary indexes the access paths require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+
+__all__ = ["Column", "RelationSchema", "BINGO_SCHEMA"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """One typed column.  ``type`` is a Python type; None allowed if nullable."""
+
+    name: str
+    type: type
+    nullable: bool = False
+
+    def check(self, value) -> None:
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return
+        if self.type is float and isinstance(value, int):
+            return  # ints are acceptable floats
+        if not isinstance(value, self.type):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.type.__name__}, "
+                f"got {type(value).__name__}: {value!r}"
+            )
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A flat relation: columns, primary key, secondary indexes."""
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...]
+    indexes: tuple[tuple[str, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column in relation {self.name!r}")
+        known = set(names)
+        for key in (self.primary_key, *self.indexes):
+            for column in key:
+                if column not in known:
+                    raise SchemaError(
+                        f"relation {self.name!r}: key column {column!r} "
+                        "is not a declared column"
+                    )
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def validate_row(self, row: dict) -> None:
+        """Raise :class:`SchemaError` unless ``row`` matches the columns."""
+        extra = set(row) - set(self.column_names)
+        if extra:
+            raise SchemaError(
+                f"relation {self.name!r}: unknown columns {sorted(extra)}"
+            )
+        for column in self.columns:
+            column.check(row.get(column.name))
+
+
+def _rel(name, columns, pk, indexes=()) -> RelationSchema:
+    return RelationSchema(
+        name=name,
+        columns=tuple(Column(*c) if isinstance(c, tuple) else c for c in columns),
+        primary_key=tuple(pk),
+        indexes=tuple(tuple(i) for i in indexes),
+    )
+
+
+#: The 24 flat relations of the store.
+BINGO_SCHEMA: dict[str, RelationSchema] = {
+    schema.name: schema
+    for schema in [
+        # -- document corpus -------------------------------------------------
+        _rel("documents", [
+            ("doc_id", int), ("url", str), ("host", str),
+            ("mime", str), ("size", int), ("title", str, True),
+            ("topic", str, True), ("confidence", float, True),
+            ("crawl_depth", int), ("fetched_at", float),
+            ("page_id", int, True),
+        ], ["doc_id"], [["url"], ["topic"], ["host"]]),
+        _rel("document_text", [
+            ("doc_id", int), ("text", str),
+        ], ["doc_id"]),
+        _rel("terms", [
+            ("doc_id", int), ("term", str), ("tf", int),
+        ], ["doc_id", "term"], [["term"], ["doc_id"]]),
+        _rel("term_statistics", [
+            ("term", str), ("df", int), ("idf", float),
+        ], ["term"]),
+        _rel("features", [
+            ("topic", str), ("feature", str), ("mi_weight", float),
+            ("rank", int),
+        ], ["topic", "feature"], [["topic"]]),
+        # -- link structure ---------------------------------------------------
+        _rel("links", [
+            ("src_doc_id", int), ("dst_url", str), ("dst_doc_id", int, True),
+        ], ["src_doc_id", "dst_url"], [["dst_url"], ["src_doc_id"]]),
+        _rel("anchor_texts", [
+            ("src_doc_id", int), ("dst_url", str), ("term", str), ("tf", int),
+        ], ["src_doc_id", "dst_url", "term"], [["dst_url"]]),
+        _rel("redirects", [
+            ("from_url", str), ("to_url", str), ("observed_at", float),
+        ], ["from_url"], [["to_url"]]),
+        _rel("duplicates", [
+            ("url", str), ("canonical_doc_id", int), ("stage", str),
+        ], ["url"], [["canonical_doc_id"]]),
+        # -- topic tree & training --------------------------------------------
+        _rel("topics", [
+            ("topic", str), ("parent", str, True), ("depth", int),
+        ], ["topic"], [["parent"]]),
+        _rel("training_documents", [
+            ("topic", str), ("doc_id", int), ("origin", str),
+            ("confidence", float, True), ("active", bool),
+        ], ["topic", "doc_id"], [["topic"], ["doc_id"]]),
+        _rel("archetypes", [
+            ("topic", str), ("doc_id", int), ("source", str),
+            ("score", float), ("iteration", int),
+        ], ["topic", "doc_id", "iteration"], [["topic"]]),
+        _rel("classifier_models", [
+            ("topic", str), ("iteration", int), ("feature_space", str),
+            ("xi_alpha", float), ("trained_at", float),
+        ], ["topic", "iteration", "feature_space"], [["topic"]]),
+        # -- crawl bookkeeping --------------------------------------------------
+        _rel("crawl_frontier", [
+            ("url", str), ("topic", str, True), ("priority", float),
+            ("depth", int), ("tunnelled", int), ("enqueued_at", float),
+        ], ["url"], [["topic"]]),
+        _rel("crawl_log", [
+            ("seq", int), ("url", str), ("status", str),
+            ("latency", float), ("at", float),
+        ], ["seq"], [["status"]]),
+        _rel("hosts", [
+            ("host", str), ("ip", str, True), ("state", str),
+            ("failures", int),
+        ], ["host"], [["state"]]),
+        _rel("dns_cache_entries", [
+            ("host", str), ("ip", str), ("expires_at", float),
+        ], ["host"]),
+        _rel("mime_policies", [
+            ("mime", str), ("max_size", int), ("handled", bool),
+        ], ["mime"]),
+        _rel("crawl_errors", [
+            ("seq", int), ("url", str), ("reason", str), ("at", float),
+        ], ["seq"], [["reason"]]),
+        # -- link analysis & postprocessing -----------------------------------
+        _rel("authority_scores", [
+            ("topic", str), ("iteration", int), ("doc_id", int),
+            ("authority", float), ("hub", float),
+        ], ["topic", "iteration", "doc_id"], [["topic"]]),
+        _rel("search_sessions", [
+            ("session_id", int), ("query", str), ("ranking", str),
+            ("at", float),
+        ], ["session_id"]),
+        _rel("search_results", [
+            ("session_id", int), ("rank", int), ("doc_id", int),
+            ("score", float),
+        ], ["session_id", "rank"], [["doc_id"]]),
+        _rel("clusters", [
+            ("topic", str), ("cluster_id", int), ("doc_id", int),
+            ("label", str),
+        ], ["topic", "cluster_id", "doc_id"], [["topic"]]),
+        _rel("feedback", [
+            ("session_id", int), ("doc_id", int), ("relevant", bool),
+            ("at", float),
+        ], ["session_id", "doc_id"]),
+    ]
+}
+
+assert len(BINGO_SCHEMA) == 24, "the paper's store has 24 flat relations"

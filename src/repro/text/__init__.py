@@ -1,0 +1,47 @@
+"""Text-processing substrate: tokenization, stemming, weighting, features.
+
+This package implements the IR pipeline BINGO! applies to every fetched
+document (paper section 2.2): HTML stripping, tokenization, stopword
+elimination, Porter stemming, and tf*idf term weighting, plus the richer
+feature spaces of section 3.4 (term pairs, anchor texts, neighbour terms).
+"""
+
+from repro.text.stemmer import PorterStemmer, stem
+from repro.text.stopwords import ANCHOR_STOPWORDS, STOPWORDS, is_stopword
+from repro.text.tokenizer import Token, html_to_text, tokenize, tokenize_html
+from repro.text.vectorizer import (
+    CorpusStatistics,
+    SparseVector,
+    TfIdfVectorizer,
+    cosine_similarity,
+)
+from repro.text.features import (
+    AnchorTextSpace,
+    CombinedSpace,
+    FeatureSpace,
+    NeighbourTermSpace,
+    TermPairSpace,
+    TermSpace,
+)
+
+__all__ = [
+    "ANCHOR_STOPWORDS",
+    "AnchorTextSpace",
+    "CombinedSpace",
+    "CorpusStatistics",
+    "FeatureSpace",
+    "NeighbourTermSpace",
+    "PorterStemmer",
+    "SparseVector",
+    "STOPWORDS",
+    "TermPairSpace",
+    "TermSpace",
+    "TfIdfVectorizer",
+    "Token",
+    "cosine_similarity",
+    "html_to_text",
+    "is_stopword",
+    "stem",
+    "tokenize",
+    "tokenize_html",
+]

@@ -1,0 +1,164 @@
+"""Feature-space construction (paper section 3.4).
+
+Beyond plain single-term tf*idf vectors, BINGO! builds richer feature
+spaces and lets the classifier treat them uniformly:
+
+* :class:`TermSpace` -- the baseline bag of stemmed terms;
+* :class:`TermPairSpace` -- co-occurring term pairs within a sliding
+  window (bounded word distance keeps extraction cheap);
+* :class:`AnchorTextSpace` -- stemmed anchor texts of *incoming* links,
+  under extended stopword elimination;
+* :class:`NeighbourTermSpace` -- the most significant terms of hyperlink
+  predecessors/successors (risky, so meant to be combined with MI-based
+  feature selection);
+* :class:`CombinedSpace` -- concatenation of any of the above, with a
+  per-space namespace prefix so features never collide.
+
+Every space maps an :class:`AnalyzedDocument` to a term multiset (a
+``Counter``); the vectorizer then applies tf*idf.  "The classifier ...
+does not have to know how feature vectors are constructed."
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.text.tokenizer import Token
+
+__all__ = [
+    "AnalyzedDocument",
+    "FeatureSpace",
+    "TermSpace",
+    "TermPairSpace",
+    "AnchorTextSpace",
+    "NeighbourTermSpace",
+    "CombinedSpace",
+]
+
+
+@dataclass
+class AnalyzedDocument:
+    """Everything the feature spaces may draw on for one document.
+
+    ``incoming_anchor_terms`` are stemmed anchor-text terms from pages that
+    link *to* this document; ``neighbour_terms`` are significant terms of
+    hyperlink neighbours.  Both are optional -- a freshly crawled page may
+    have neither until the link database fills in.
+    """
+
+    tokens: Sequence[Token]
+    incoming_anchor_terms: Sequence[str] = field(default_factory=list)
+    neighbour_terms: Sequence[str] = field(default_factory=list)
+
+    @property
+    def stems(self) -> list[str]:
+        return [token.stem for token in self.tokens]
+
+
+class FeatureSpace:
+    """Base class: extract a feature multiset from an analyzed document."""
+
+    #: short identifier used as a namespace prefix in combined spaces
+    name: str = "base"
+
+    def extract(self, document: AnalyzedDocument) -> Counter:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class TermSpace(FeatureSpace):
+    """Plain bag of stemmed terms."""
+
+    name = "term"
+
+    def extract(self, document: AnalyzedDocument) -> Counter:
+        return Counter(document.stems)
+
+
+class TermPairSpace(FeatureSpace):
+    """Term pairs within a sliding window of ``window`` token positions.
+
+    Pairs are order-normalised (alphabetically) so "data mining" and
+    "mining data" produce the same feature.  Extraction cost is
+    O(n * window), matching the paper's justification for the window.
+    """
+
+    name = "pair"
+
+    def __init__(self, window: int = 5) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+
+    def extract(self, document: AnalyzedDocument) -> Counter:
+        stems = document.stems
+        pairs: Counter = Counter()
+        for i, left in enumerate(stems):
+            for right in stems[i + 1 : i + 1 + self.window]:
+                if left == right:
+                    continue
+                a, b = sorted((left, right))
+                pairs[f"{a}~{b}"] += 1
+        return pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TermPairSpace(window={self.window})"
+
+
+class AnchorTextSpace(FeatureSpace):
+    """Anchor texts of incoming hyperlinks (already extended-stopworded)."""
+
+    name = "anchor"
+
+    def extract(self, document: AnalyzedDocument) -> Counter:
+        return Counter(document.incoming_anchor_terms)
+
+
+class NeighbourTermSpace(FeatureSpace):
+    """Most significant terms of hyperlink-neighbour documents.
+
+    Only the ``limit`` most frequent neighbour terms are kept, since the
+    paper warns this space "may as well dilute the feature space" and must
+    be paired with conservative MI selection.
+    """
+
+    name = "neighbour"
+
+    def __init__(self, limit: int = 50) -> None:
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        self.limit = limit
+
+    def extract(self, document: AnalyzedDocument) -> Counter:
+        counts = Counter(document.neighbour_terms)
+        return Counter(dict(counts.most_common(self.limit)))
+
+
+class CombinedSpace(FeatureSpace):
+    """Concatenate several spaces; features are prefixed per space.
+
+    A combined vector can hold "single-term frequencies, term-pair
+    frequencies, and anchor terms of predecessors as components".
+    """
+
+    name = "combined"
+
+    def __init__(self, spaces: Iterable[FeatureSpace]) -> None:
+        self.spaces = list(spaces)
+        if not self.spaces:
+            raise ValueError("CombinedSpace requires at least one space")
+
+    def extract(self, document: AnalyzedDocument) -> Counter:
+        combined: Counter = Counter()
+        for space in self.spaces:
+            for feature, count in space.extract(document).items():
+                combined[f"{space.name}:{feature}"] += count
+        return combined
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(space) for space in self.spaces)
+        return f"CombinedSpace([{inner}])"

@@ -1,0 +1,255 @@
+"""Content handlers: convert document formats to HTML (paper section 2.2).
+
+"The document analyzer can handle a wide range of content handlers for
+different document formats (in particular, PDF, MS Word, MS PowerPoint
+etc.) as well as common archive files (zip, gz) and converts the
+recognized contents into HTML.  So these formats can be processed by
+BINGO! like usual web pages."
+
+The synthetic Web serves format-specific payloads (see
+``PageRenderer.payload``); each handler here recognises its format from
+the payload header and converts it back to HTML for the analyzer.  The
+registry dispatches on MIME type with a payload sniff as fallback --
+real servers lie about Content-Type, and so, occasionally, does ours.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.web.model import MimeType
+
+__all__ = [
+    "ConversionResult",
+    "ContentHandler",
+    "HtmlHandler",
+    "PdfHandler",
+    "WordHandler",
+    "PowerPointHandler",
+    "ArchiveHandler",
+    "HandlerRegistry",
+    "default_registry",
+]
+
+#: payload magic headers emitted by the synthetic renderer
+PDF_MAGIC = "%SIM-PDF-1.4\n"
+WORD_MAGIC = "{\\simrtf1 "
+PPT_MAGIC = "SIM-PPT\n"
+ARCHIVE_MAGIC = "SIM-ARCHIVE\n"
+ARCHIVE_MEMBER = "--- member: "
+
+#: hyperlink markers embedded in text formats: ``[[url|anchor text]]``
+_LINK_MARKER = re.compile(r"\[\[([^|\]]+)\|([^\]]*)\]\]")
+
+
+def _expand_links(text: str) -> str:
+    """Turn ``[[url|anchor]]`` markers into HTML anchors."""
+    return _LINK_MARKER.sub(r'<a href="\1">\2</a>', text)
+
+
+@dataclass(frozen=True)
+class ConversionResult:
+    """Outcome of one conversion: HTML plus the recognised format."""
+
+    html: str
+    source_format: str
+
+
+class ContentHandler:
+    """Base class: recognises a payload and converts it to HTML."""
+
+    #: MIME types this handler claims
+    mime_types: frozenset[str] = frozenset()
+    #: short format name for provenance
+    format_name: str = "unknown"
+
+    def sniff(self, payload: str) -> bool:
+        """Payload-based recognition (used when the MIME type is absent
+        or wrong)."""
+        raise NotImplementedError
+
+    def convert(self, payload: str) -> str:
+        """Return HTML; raise ValueError if the payload is malformed."""
+        raise NotImplementedError
+
+
+class HtmlHandler(ContentHandler):
+    """Pass-through for pages that already are HTML."""
+
+    mime_types = frozenset({MimeType.HTML})
+    format_name = "html"
+
+    def sniff(self, payload: str) -> bool:
+        head = payload.lstrip()[:200].lower()
+        return head.startswith("<!doctype") or head.startswith("<html")
+
+    def convert(self, payload: str) -> str:
+        return payload
+
+
+class PdfHandler(ContentHandler):
+    """Converts the simulated PDF layout back to HTML.
+
+    The synthetic PDF format carries a title line and page-delimited
+    text blocks; line breaks inside a block are soft.
+    """
+
+    mime_types = frozenset({MimeType.PDF})
+    format_name = "pdf"
+
+    def sniff(self, payload: str) -> bool:
+        return payload.startswith(PDF_MAGIC)
+
+    def convert(self, payload: str) -> str:
+        if not payload.startswith(PDF_MAGIC):
+            raise ValueError("not a simulated PDF payload")
+        body = payload[len(PDF_MAGIC):]
+        title = ""
+        if body.startswith("T:"):
+            title_line, _, body = body.partition("\n")
+            title = title_line[2:]
+        pages = [
+            _expand_links(page.replace("\n", " ").strip())
+            for page in body.split("\f")
+            if page.strip()
+        ]
+        content = "\n".join(f"<p>{page}</p>" for page in pages)
+        return (
+            f"<html><head><title>{title}</title></head>"
+            f"<body>\n{content}\n</body></html>"
+        )
+
+
+class WordHandler(ContentHandler):
+    """Converts the simulated RTF-ish Word payload to HTML."""
+
+    mime_types = frozenset({MimeType.WORD})
+    format_name = "word"
+
+    _CONTROL = re.compile(r"\\[a-z]+\d*\s?")
+
+    def sniff(self, payload: str) -> bool:
+        return payload.startswith(WORD_MAGIC)
+
+    def convert(self, payload: str) -> str:
+        if not payload.startswith(WORD_MAGIC):
+            raise ValueError("not a simulated Word payload")
+        body = payload[len(WORD_MAGIC):].rstrip("}")
+        body = _expand_links(body)
+        text = self._CONTROL.sub(" ", body).replace("{", " ").replace("}", " ")
+        return f"<html><head><title></title></head><body>{text}</body></html>"
+
+
+class PowerPointHandler(ContentHandler):
+    """Converts the simulated slide deck to HTML (one heading per slide)."""
+
+    mime_types = frozenset({MimeType.POWERPOINT})
+    format_name = "powerpoint"
+
+    def sniff(self, payload: str) -> bool:
+        return payload.startswith(PPT_MAGIC)
+
+    def convert(self, payload: str) -> str:
+        if not payload.startswith(PPT_MAGIC):
+            raise ValueError("not a simulated PowerPoint payload")
+        slides = payload[len(PPT_MAGIC):].split("\f")
+        parts = []
+        for slide in slides:
+            lines = [line for line in slide.splitlines() if line.strip()]
+            if not lines:
+                continue
+            heading, *bullets = lines
+            parts.append(f"<h2>{_expand_links(heading)}</h2>")
+            for bullet in bullets:
+                parts.append(f"<li>{_expand_links(bullet.lstrip('- '))}</li>")
+        return (
+            "<html><head><title></title></head><body>"
+            + "\n".join(parts)
+            + "</body></html>"
+        )
+
+
+class ArchiveHandler(ContentHandler):
+    """Unpacks the simulated archive and concatenates its text members."""
+
+    mime_types = frozenset({MimeType.ZIP, MimeType.GZIP})
+    format_name = "archive"
+
+    def __init__(self, registry: "HandlerRegistry | None" = None) -> None:
+        self._registry = registry
+
+    def sniff(self, payload: str) -> bool:
+        return payload.startswith(ARCHIVE_MAGIC)
+
+    def convert(self, payload: str) -> str:
+        if not payload.startswith(ARCHIVE_MAGIC):
+            raise ValueError("not a simulated archive payload")
+        sections = payload[len(ARCHIVE_MAGIC):].split(ARCHIVE_MEMBER)
+        parts = []
+        for section in sections:
+            if not section.strip():
+                continue
+            name_line, _, member = section.partition("\n")
+            if self._registry is not None:
+                converted = self._registry.convert(member, mime=None)
+                if converted is not None:
+                    # strip the inner html/body wrapper, keep the content
+                    inner = re.sub(r"</?(html|head|body)[^>]*>", " ",
+                                   converted.html)
+                    inner = re.sub(r"<title[^>]*>.*?</title>", " ", inner,
+                                   flags=re.DOTALL)
+                    parts.append(f"<h3>{name_line.strip()}</h3>{inner}")
+                    continue
+            parts.append(f"<h3>{name_line.strip()}</h3><p>{member}</p>")
+        return (
+            "<html><head><title></title></head><body>"
+            + "\n".join(parts)
+            + "</body></html>"
+        )
+
+
+class HandlerRegistry:
+    """Dispatches payloads to handlers by MIME type, then by sniffing."""
+
+    def __init__(self, handlers: list[ContentHandler] | None = None) -> None:
+        if handlers is None:
+            handlers = [
+                HtmlHandler(), PdfHandler(), WordHandler(),
+                PowerPointHandler(),
+            ]
+            handlers.append(ArchiveHandler(registry=self))
+            self.handlers = handlers
+        else:
+            self.handlers = list(handlers)
+
+    def handler_for(self, mime: str | None, payload: str) -> ContentHandler | None:
+        if mime is not None:
+            for handler in self.handlers:
+                if mime in handler.mime_types and handler.sniff(payload):
+                    return handler
+        for handler in self.handlers:
+            if handler.sniff(payload):
+                return handler
+        return None
+
+    def convert(self, payload: str, mime: str | None) -> ConversionResult | None:
+        """Convert ``payload`` to HTML; None when no handler recognises it."""
+        handler = self.handler_for(mime, payload)
+        if handler is None:
+            return None
+        return ConversionResult(
+            html=handler.convert(payload),
+            source_format=handler.format_name,
+        )
+
+
+_default: HandlerRegistry | None = None
+
+
+def default_registry() -> HandlerRegistry:
+    """A shared registry with all built-in handlers."""
+    global _default
+    if _default is None:
+        _default = HandlerRegistry()
+    return _default

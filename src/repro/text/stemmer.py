@@ -1,0 +1,255 @@
+"""Porter stemming algorithm (Porter, 1980), implemented from scratch.
+
+BINGO! normalises every term with Porter stemming before weighting
+(paper section 2.2).  This module implements the original algorithm:
+five rule phases applied in order, with the measure/condition machinery
+(m, *v*, *d, *o) of the paper "An algorithm for suffix stripping".
+
+The stemmer is deliberately the *classic* Porter variant (not Porter2),
+matching what 2003-era IR systems shipped: e.g. ``mining -> mine``
+becomes ``mine``, ``knowledge -> knowledg``, ``discovery -> discoveri``
+(the paper's own example output in section 2.3 -- ``knowledg``,
+``discov``, ``genet`` -- is classic Porter output).
+"""
+
+from __future__ import annotations
+
+__all__ = ["PorterStemmer", "stem"]
+
+_VOWELS = frozenset("aeiou")
+
+
+class PorterStemmer:
+    """Stateless classic Porter stemmer.
+
+    >>> PorterStemmer().stem("relational")
+    'relat'
+    >>> PorterStemmer().stem("knowledge")
+    'knowledg'
+    """
+
+    # ------------------------------------------------------------------
+    # Condition helpers.  All operate on a candidate *stem* (the word with
+    # the suffix under consideration already removed).
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _is_consonant(word: str, i: int) -> bool:
+        ch = word[i]
+        if ch in _VOWELS:
+            return False
+        if ch == "y":
+            # 'y' is a consonant when it starts the word or follows a vowel's
+            # consonant; Porter defines y as consonant iff preceded by a vowel
+            # ... precisely: y is a consonant if i == 0 or the previous letter
+            # is a vowel-position (i.e. not a consonant).
+            return i == 0 or not PorterStemmer._is_consonant(word, i - 1)
+        return True
+
+    @classmethod
+    def _measure(cls, stem: str) -> int:
+        """Return m, the number of VC sequences in the stem."""
+        m = 0
+        i = 0
+        n = len(stem)
+        # skip initial consonants
+        while i < n and cls._is_consonant(stem, i):
+            i += 1
+        while i < n:
+            # consume vowels
+            while i < n and not cls._is_consonant(stem, i):
+                i += 1
+            if i >= n:
+                break
+            m += 1
+            # consume consonants
+            while i < n and cls._is_consonant(stem, i):
+                i += 1
+        return m
+
+    @classmethod
+    def _contains_vowel(cls, stem: str) -> bool:
+        return any(not cls._is_consonant(stem, i) for i in range(len(stem)))
+
+    @classmethod
+    def _ends_double_consonant(cls, word: str) -> bool:
+        return (
+            len(word) >= 2
+            and word[-1] == word[-2]
+            and cls._is_consonant(word, len(word) - 1)
+        )
+
+    @classmethod
+    def _ends_cvc(cls, word: str) -> bool:
+        """*o: stem ends cvc where the final c is not w, x or y."""
+        if len(word) < 3:
+            return False
+        if not cls._is_consonant(word, len(word) - 3):
+            return False
+        if cls._is_consonant(word, len(word) - 2):
+            return False
+        if not cls._is_consonant(word, len(word) - 1):
+            return False
+        return word[-1] not in "wxy"
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            stem = word[:-3]
+            if self._measure(stem) > 0:
+                return word[:-1]
+            return word
+        flag = False
+        if word.endswith("ed"):
+            stem = word[:-2]
+            if self._contains_vowel(stem):
+                word = stem
+                flag = True
+        elif word.endswith("ing"):
+            stem = word[:-3]
+            if self._contains_vowel(stem):
+                word = stem
+                flag = True
+        if flag:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if self._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if self._measure(word) == 1 and self._ends_cvc(word):
+                return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and self._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_RULES = (
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    )
+
+    _STEP3_RULES = (
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    )
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+
+    def _apply_rules(self, word: str, rules) -> str:
+        for suffix, replacement in rules:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if self._measure(stem) > 0:
+                    return stem + replacement
+                return word
+        return word
+
+    def _step2(self, word: str) -> str:
+        return self._apply_rules(word, self._STEP2_RULES)
+
+    def _step3(self, word: str) -> str:
+        return self._apply_rules(word, self._STEP3_RULES)
+
+    def _step4(self, word: str) -> str:
+        for suffix in self._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if self._measure(stem) > 1:
+                    return stem
+                return word
+        if word.endswith("ion"):
+            stem = word[:-3]
+            if stem and stem[-1] in "st" and self._measure(stem) > 1:
+                return stem
+        return word
+
+    def _step5a(self, word: str) -> str:
+        if word.endswith("e"):
+            stem = word[:-1]
+            m = self._measure(stem)
+            if m > 1:
+                return stem
+            if m == 1 and not self._ends_cvc(stem):
+                return stem
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if (
+            self._measure(word) > 1
+            and self._ends_double_consonant(word)
+            and word.endswith("l")
+        ):
+            return word[:-1]
+        return word
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of ``word`` (lowercased).
+
+        Words of length <= 2 are returned unchanged, per the original
+        algorithm's note that short words are never stemmed.
+        """
+        word = word.lower()
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+
+_DEFAULT = PorterStemmer()
+
+
+def stem(word: str) -> str:
+    """Module-level convenience wrapper around a shared :class:`PorterStemmer`."""
+    return _DEFAULT.stem(word)

@@ -1,0 +1,170 @@
+"""tf*idf document vectors over a lazily-maintained corpus statistic.
+
+BINGO! computes document vectors "according to the standard bag-of-words
+model, using stopword elimination, Porter stemming, and tf*idf based term
+weighting", where idf is "logarithmically dampened" and the *local document
+database* approximates the corpus; idf is recomputed "lazily upon each
+retraining" (paper section 2.2).  :class:`CorpusStatistics` implements that
+lazy contract: document frequencies are updated on every ingest, but the
+idf snapshot used for weighting only changes when :meth:`CorpusStatistics.
+refresh` is called (the engine calls it at each retraining point).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SparseVector",
+    "CorpusStatistics",
+    "TfIdfVectorizer",
+    "cosine_similarity",
+]
+
+
+@dataclass(frozen=True)
+class SparseVector:
+    """An immutable sparse feature vector (feature name -> weight).
+
+    Feature names are strings so that heterogeneous feature spaces (terms,
+    term pairs, anchor terms...) can coexist in one vector; the classifier
+    does not need to know how features were constructed (section 3.4).
+    """
+
+    weights: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "weights", dict(self.weights))
+
+    def __len__(self) -> int:
+        return len(self.weights)
+
+    def __iter__(self):
+        return iter(self.weights.items())
+
+    def get(self, feature: str, default: float = 0.0) -> float:
+        return self.weights.get(feature, default)
+
+    @property
+    def norm(self) -> float:
+        return math.sqrt(sum(w * w for w in self.weights.values()))
+
+    def dot(self, other: "SparseVector") -> float:
+        a, b = self.weights, other.weights
+        if len(b) < len(a):
+            a, b = b, a
+        return sum(w * b[f] for f, w in a.items() if f in b)
+
+    def normalized(self) -> "SparseVector":
+        """Return a unit-norm copy (self if the vector is empty/zero)."""
+        n = self.norm
+        if n == 0.0:
+            return self
+        return SparseVector({f: w / n for f, w in self.weights.items()})
+
+    def project(self, features: Iterable[str]) -> "SparseVector":
+        """Restrict the vector to ``features`` (the selected feature set)."""
+        if isinstance(features, (set, frozenset)):
+            keep = features
+        else:
+            keep = set(features)
+        return SparseVector(
+            {f: w for f, w in self.weights.items() if f in keep}
+        )
+
+    def top(self, k: int) -> list[tuple[str, float]]:
+        """The ``k`` highest-weighted features, descending by weight."""
+        return sorted(self.weights.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+
+
+def cosine_similarity(a: SparseVector, b: SparseVector) -> float:
+    """Cosine of the angle between two sparse vectors (0.0 if either is zero)."""
+    denom = a.norm * b.norm
+    if denom == 0.0:
+        return 0.0
+    return a.dot(b) / denom
+
+
+@dataclass
+class CorpusStatistics:
+    """Document-frequency bookkeeping with an explicit idf snapshot.
+
+    ``add_document`` updates live counts; ``refresh`` promotes them into the
+    idf snapshot actually used for weighting.  This reproduces BINGO!'s lazy
+    idf recomputation at retraining points.
+    """
+
+    document_count: int = 0
+    document_frequency: Counter = field(default_factory=Counter)
+    _snapshot_n: int = 0
+    _snapshot_df: dict[str, int] = field(default_factory=dict)
+
+    def add_document(self, terms: Iterable[str]) -> None:
+        """Record one document's distinct terms into the live counts."""
+        self.document_count += 1
+        self.document_frequency.update(set(terms))
+
+    def refresh(self) -> None:
+        """Promote live counts into the idf snapshot (called at retraining)."""
+        self._snapshot_n = self.document_count
+        self._snapshot_df = dict(self.document_frequency)
+
+    @property
+    def snapshot_size(self) -> int:
+        return self._snapshot_n
+
+    def idf(self, term: str) -> float:
+        """Log-dampened inverse document frequency from the snapshot.
+
+        ``idf(t) = log(1 + N / df(t))``; unseen terms get the maximal
+        idf ``log(1 + N)`` so that novel topic-specific vocabulary is not
+        suppressed.  With an empty snapshot every idf is 1.0 (pure tf),
+        which is the state of a freshly-started crawl.
+        """
+        n = self._snapshot_n
+        if n == 0:
+            return 1.0
+        df = self._snapshot_df.get(term, 0)
+        if df == 0:
+            return math.log(1.0 + n)
+        return math.log(1.0 + n / df)
+
+
+class TfIdfVectorizer:
+    """Build tf*idf :class:`SparseVector` documents against a corpus.
+
+    Term frequencies are dampened as ``1 + log(tf)`` (standard log-tf),
+    multiplied by the corpus snapshot idf.
+    """
+
+    def __init__(self, statistics: CorpusStatistics | None = None) -> None:
+        self.statistics = statistics or CorpusStatistics()
+
+    def ingest(self, terms: Iterable[str]) -> None:
+        """Add a document to the corpus statistics (live counts only)."""
+        self.statistics.add_document(terms)
+
+    def refresh(self) -> None:
+        """Recompute the idf snapshot (BINGO! does this on retraining)."""
+        self.statistics.refresh()
+
+    def vectorize(self, terms: Iterable[str]) -> SparseVector:
+        """Turn a term multiset into a tf*idf vector under the snapshot."""
+        counts = Counter(terms)
+        weights = {
+            term: (1.0 + math.log(tf)) * self.statistics.idf(term)
+            for term, tf in counts.items()
+        }
+        return SparseVector(weights)
+
+    def vectorize_counts(self, counts: Mapping[str, int]) -> SparseVector:
+        """Like :meth:`vectorize` but from precomputed term counts."""
+        weights = {
+            term: (1.0 + math.log(tf)) * self.statistics.idf(term)
+            for term, tf in counts.items()
+            if tf > 0
+        }
+        return SparseVector(weights)

@@ -1,0 +1,123 @@
+"""Data model of the synthetic Web: hosts, pages, researchers.
+
+The generator (``repro.web.generator``) wires instances of these types
+into a full Web; the server (``repro.web.server``) serves them; the
+renderer (``repro.web.corpus``) produces their HTML deterministically on
+demand, so a multi-hundred-thousand-page Web costs only metadata memory
+until pages are actually fetched.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["PageRole", "Host", "PageSpec", "Researcher", "MimeType"]
+
+
+class PageRole(enum.Enum):
+    """What kind of page this is; drives text statistics and link wiring."""
+
+    HOMEPAGE = "homepage"          # researcher homepage: mixed text
+    PUBLICATIONS = "publications"  # publication list: links to papers
+    PAPER = "paper"                # long, highly topic-specific (often PDF)
+    SLIDES = "slides"              # talk slides: topic-specific, shorter
+    CV = "cv"                      # curriculum vitae: mixed
+    WELCOME = "welcome"            # dept/table-of-contents page: unspecific
+    HUB = "hub"                    # link collection (conference site, portal)
+    BACKGROUND = "background"      # off-topic page (sports, travel, ...)
+    DIRECTORY = "directory"        # Yahoo-style category page
+    REGISTRY = "registry"          # DBLP-like author registry page
+    SEARCH = "search"              # external search engine page (locked)
+    NEEDLE = "needle"              # expert-search target page
+    TRAP = "trap"                  # crawler trap (parametric URL space)
+    MEDIA = "media"                # non-text payload (video, archive, ...)
+
+
+class MimeType:
+    """MIME type names used by the server's type management."""
+
+    HTML = "text/html"
+    PDF = "application/pdf"
+    WORD = "application/msword"
+    POWERPOINT = "application/vnd.ms-powerpoint"
+    ZIP = "application/zip"
+    GZIP = "application/gzip"
+    VIDEO = "video/mpeg"
+    AUDIO = "audio/mpeg"
+    IMAGE = "image/jpeg"
+
+    #: formats the document analyzer can convert to HTML (paper 2.2)
+    CONVERTIBLE = frozenset({HTML, PDF, WORD, POWERPOINT, ZIP, GZIP})
+
+
+@dataclass
+class Host:
+    """One web host with its network behaviour profile."""
+
+    name: str
+    ip: str
+    mean_latency: float = 1.0
+    """Mean fetch latency in simulated seconds."""
+    timeout_rate: float = 0.0
+    """Probability that a fetch from this host times out."""
+    error_rate: float = 0.0
+    """Probability of an HTTP 5xx response."""
+    dns_latency: float = 0.2
+    """Resolution time charged on a DNS cache miss."""
+    locked: bool = False
+    """Locked hosts (search engines, DBLP mirrors) are never crawled."""
+
+
+@dataclass
+class PageSpec:
+    """Metadata of one synthetic page; content is rendered lazily."""
+
+    page_id: int
+    url: str
+    host: str
+    role: PageRole
+    topic: str | None
+    mime: str = MimeType.HTML
+    specificity: float = 0.5
+    """Fraction of body tokens drawn from the topic vocabulary."""
+    length: int = 200
+    """Body length in tokens."""
+    secondary_topic: str | None = None
+    """Optional second topic blended into the body (e.g. needle pages)."""
+    secondary_share: float = 0.0
+    """Fraction of body tokens drawn from the secondary topic."""
+    out_links: list[int] = field(default_factory=list)
+    """Target page ids, in document order."""
+    aliases: list[str] = field(default_factory=list)
+    """Alternative URLs that 302-redirect to the canonical URL."""
+    copy_urls: list[str] = field(default_factory=list)
+    """Alternative URLs serving identical bytes (IP+filesize duplicates)."""
+
+    @property
+    def size_bytes(self) -> int:
+        """Deterministic payload size; identical for all copy URLs."""
+        per_token = 7 if self.mime == MimeType.HTML else 60
+        return 256 + self.length * per_token + (self.page_id % 13)
+
+
+@dataclass
+class Researcher:
+    """A synthetic researcher for the DBLP-style portal evaluation."""
+
+    author_id: int
+    name: str
+    topic: str
+    publication_count: int
+    homepage_page_id: int
+    homepage_url: str
+
+    def homepage_prefix(self) -> str:
+        """The path prefix that defines "underneath the homepage".
+
+        The paper counts an author as found if the crawl stored any page
+        whose URL has the homepage path as a prefix.
+        """
+        url = self.homepage_url
+        cut = url.rfind("/")
+        return url[: cut + 1]

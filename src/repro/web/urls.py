@@ -1,0 +1,133 @@
+"""URL utilities used by both the synthetic Web and the crawler.
+
+The paper's crawl management (section 4.2) imposes RFC-derived limits --
+hostnames at most 255 characters (RFC 1738), URLs at most 1000 characters
+-- and recognises duplicates first by a *hash code* of the URL string
+("with a small risk of falsely dismissing a new document").  These
+helpers implement parsing, normalisation, relative resolution and the
+hash used for first-stage duplicate elimination.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = [
+    "MAX_HOSTNAME_LENGTH",
+    "MAX_URL_LENGTH",
+    "ParsedUrl",
+    "parse_url",
+    "normalize_url",
+    "join_url",
+    "url_hash",
+    "is_crawlable_url",
+]
+
+MAX_HOSTNAME_LENGTH = 255
+MAX_URL_LENGTH = 1000
+
+
+@dataclass(frozen=True)
+class ParsedUrl:
+    """Scheme/host/path decomposition of an absolute URL."""
+
+    scheme: str
+    host: str
+    path: str
+
+    @property
+    def url(self) -> str:
+        return f"{self.scheme}://{self.host}{self.path}"
+
+    @property
+    def domain(self) -> str:
+        """The registrable domain: last two labels of the hostname."""
+        labels = self.host.split(".")
+        if len(labels) <= 2:
+            return self.host
+        return ".".join(labels[-2:])
+
+    @property
+    def directory(self) -> str:
+        """The path up to and including the final '/'."""
+        return self.path[: self.path.rfind("/") + 1]
+
+
+def parse_url(url: str) -> ParsedUrl | None:
+    """Parse an absolute http(s) URL; return None if it is not one."""
+    lowered = url.strip()
+    scheme_sep = lowered.find("://")
+    if scheme_sep < 0:
+        return None
+    scheme = lowered[:scheme_sep].lower()
+    if scheme not in ("http", "https"):
+        return None
+    rest = lowered[scheme_sep + 3 :]
+    slash = rest.find("/")
+    if slash < 0:
+        host, path = rest, "/"
+    else:
+        host, path = rest[:slash], rest[slash:]
+    host = host.lower().rstrip(".")
+    if not host:
+        return None
+    return ParsedUrl(scheme=scheme, host=host, path=path or "/")
+
+
+def normalize_url(url: str) -> str | None:
+    """Canonical string form (lowercased scheme/host, '/' path default)."""
+    parsed = parse_url(url)
+    if parsed is None:
+        return None
+    # Collapse '.' and '..' path segments; drop fragments.
+    path = parsed.path.split("#", 1)[0]
+    segments: list[str] = []
+    for segment in path.split("/"):
+        if segment == "." or segment == "":
+            continue
+        if segment == "..":
+            if segments:
+                segments.pop()
+            continue
+        segments.append(segment)
+    trailing = "/" if path.endswith("/") and segments else ""
+    new_path = "/" + "/".join(segments) + trailing if segments else "/"
+    return ParsedUrl(parsed.scheme, parsed.host, new_path).url
+
+
+def join_url(base: str, href: str) -> str | None:
+    """Resolve ``href`` (absolute or relative) against ``base``."""
+    if "://" in href:
+        return normalize_url(href)
+    parsed = parse_url(base)
+    if parsed is None:
+        return None
+    if href.startswith("//"):
+        return normalize_url(f"{parsed.scheme}:{href}")
+    if href.startswith("/"):
+        return normalize_url(f"{parsed.scheme}://{parsed.host}{href}")
+    return normalize_url(
+        f"{parsed.scheme}://{parsed.host}{parsed.directory}{href}"
+    )
+
+
+def url_hash(url: str) -> int:
+    """64-bit stable hash of a URL string (stage-1 duplicate fingerprint).
+
+    The paper compares "the hashcode representation of the visited URL";
+    we use the top 8 bytes of SHA-1 so runs are stable across processes
+    (Python's builtin ``hash`` is salted per process).
+    """
+    digest = hashlib.sha1(url.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def is_crawlable_url(url: str) -> bool:
+    """Apply the paper's sanity limits: parseable, host <= 255, URL <= 1000."""
+    if len(url) > MAX_URL_LENGTH:
+        return False
+    parsed = parse_url(url)
+    if parsed is None:
+        return False
+    return len(parsed.host) <= MAX_HOSTNAME_LENGTH

@@ -1,0 +1,87 @@
+"""Tests for the link graph and base-set expansion."""
+
+from __future__ import annotations
+
+from repro.analysis.graph import LinkGraph, expand_base_set
+
+
+def chain(n: int) -> LinkGraph:
+    graph = LinkGraph()
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+class TestLinkGraph:
+    def test_add_edge_maintains_both_directions(self) -> None:
+        graph = LinkGraph()
+        graph.add_edge("a", "b")
+        assert graph.successors["a"] == {"b"}
+        assert graph.predecessors["b"] == {"a"}
+        assert graph.predecessors["a"] == set()
+
+    def test_self_links_ignored(self) -> None:
+        graph = LinkGraph()
+        graph.add_edge("a", "a")
+        assert graph.edge_count() == 0
+
+    def test_duplicate_edges_collapse(self) -> None:
+        graph = LinkGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("a", "b")
+        assert graph.edge_count() == 1
+
+    def test_host_labels(self) -> None:
+        graph = LinkGraph()
+        graph.add_node("a", host="h1")
+        graph.add_edge("a", "b")
+        assert graph.host_of("a") == "h1"
+        assert graph.host_of("b") == "b"  # falls back to node id
+
+    def test_subgraph_induces_edges(self) -> None:
+        graph = chain(5)
+        sub = graph.subgraph([1, 2, 4])
+        assert len(sub) == 3
+        assert sub.successors[1] == {2}
+        assert sub.successors[2] == set()  # 3 was dropped
+
+
+class TestExpandBaseSet:
+    def graph(self) -> LinkGraph:
+        graph = LinkGraph()
+        graph.add_edge("base", "succ1")
+        graph.add_edge("base", "succ2")
+        for i in range(30):
+            graph.add_edge(f"pred{i}", "base")
+        return graph
+
+    def test_includes_base_and_successors(self) -> None:
+        graph = self.graph()
+        result = expand_base_set(
+            ["base"],
+            lambda n: graph.successors.get(n, ()),
+            lambda n: graph.predecessors.get(n, ()),
+        )
+        assert {"base", "succ1", "succ2"} <= result
+
+    def test_predecessors_bounded(self) -> None:
+        graph = self.graph()
+        result = expand_base_set(
+            ["base"],
+            lambda n: graph.successors.get(n, ()),
+            lambda n: graph.predecessors.get(n, ()),
+            max_predecessors_per_node=5,
+        )
+        preds = {n for n in result if str(n).startswith("pred")}
+        assert len(preds) == 5
+
+    def test_total_cap(self) -> None:
+        graph = self.graph()
+        result = expand_base_set(
+            ["base"],
+            lambda n: graph.successors.get(n, ()),
+            lambda n: graph.predecessors.get(n, ()),
+            max_total=4,
+        )
+        assert len(result) <= 4
+        assert "base" in result

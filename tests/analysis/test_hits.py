@@ -1,0 +1,103 @@
+"""Tests for HITS and the Bharat/Henzinger variant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.distillation import bharat_henzinger
+from repro.analysis.graph import LinkGraph
+from repro.analysis.hits import hits
+
+
+def hub_authority_graph() -> LinkGraph:
+    """3 hubs all pointing at authority A; one also at B."""
+    graph = LinkGraph()
+    for i in range(3):
+        graph.add_edge(f"hub{i}", "A")
+    graph.add_edge("hub0", "B")
+    graph.add_edge("loner", "C")
+    return graph
+
+
+class TestHits:
+    def test_empty_graph(self) -> None:
+        result = hits(LinkGraph())
+        assert result.converged
+        assert result.authority == {}
+
+    def test_authority_ranking(self) -> None:
+        result = hits(hub_authority_graph())
+        top = [node for node, _ in result.top_authorities(2)]
+        assert top[0] == "A"
+        assert result.authority["A"] > result.authority["B"]
+
+    def test_hub_ranking(self) -> None:
+        result = hits(hub_authority_graph())
+        # hub0 points to both A and B -> best hub
+        assert result.top_hubs(1)[0][0] == "hub0"
+
+    def test_scores_normalised(self) -> None:
+        result = hits(hub_authority_graph())
+        norm = sum(v * v for v in result.authority.values())
+        assert norm == pytest.approx(1.0)
+
+    def test_converges(self) -> None:
+        result = hits(hub_authority_graph())
+        assert result.converged
+        assert result.iterations < 50
+
+    def test_disconnected_nodes_score_zero_authority(self) -> None:
+        graph = hub_authority_graph()
+        graph.add_node("island")
+        result = hits(graph)
+        assert result.authority["island"] == pytest.approx(0.0)
+
+    def test_deterministic(self) -> None:
+        a = hits(hub_authority_graph())
+        b = hits(hub_authority_graph())
+        assert a.authority == b.authority
+
+
+class TestBharatHenzinger:
+    def test_host_weighting_defeats_host_spam(self) -> None:
+        """10 pages of one spam host vs 3 independent hosts: plain HITS
+        crowns the spammed target, B&H the independently endorsed one."""
+        graph = LinkGraph()
+        for i in range(10):
+            node = f"spam{i}"
+            graph.add_node(node, host="spamhost")
+            graph.add_edge(node, "spammed")
+        for i in range(3):
+            node = f"indep{i}"
+            graph.add_node(node, host=f"host{i}")
+            graph.add_edge(node, "honest")
+        plain = hits(graph)
+        weighted = bharat_henzinger(graph)
+        assert plain.authority["spammed"] > plain.authority["honest"]
+        assert weighted.authority["honest"] > weighted.authority["spammed"]
+
+    def test_relevance_weighting_suppresses_off_topic(self) -> None:
+        graph = LinkGraph()
+        for i in range(3):
+            graph.add_node(f"on{i}", host=f"h{i}")
+            graph.add_node(f"off{i}", host=f"g{i}")
+            graph.add_edge(f"on{i}", "target_on")
+            graph.add_edge(f"off{i}", "target_off")
+        relevance = {f"on{i}": 1.0 for i in range(3)}
+        relevance.update({f"off{i}": 0.05 for i in range(3)})
+        result = bharat_henzinger(graph, relevance=relevance)
+        assert result.authority["target_on"] > result.authority["target_off"]
+
+    def test_without_weights_matches_hits_ranking(self) -> None:
+        """On a graph with one page per host, B&H reduces to HITS."""
+        graph = hub_authority_graph()
+        for node in graph.nodes:
+            graph.hosts[node] = str(node)  # distinct hosts
+        plain = hits(graph)
+        weighted = bharat_henzinger(graph)
+        plain_order = [n for n, _ in plain.top_authorities(10)]
+        weighted_order = [n for n, _ in weighted.top_authorities(10)]
+        assert plain_order == weighted_order
+
+    def test_empty_graph(self) -> None:
+        assert bharat_henzinger(LinkGraph()).converged

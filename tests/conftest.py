@@ -1,0 +1,32 @@
+"""Session-wide fixtures shared by all test packages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.web import SyntheticWeb, WebGraphConfig
+
+
+def small_web_config(seed: int = 7, **overrides) -> WebGraphConfig:
+    defaults = dict(
+        seed=seed,
+        target_researchers=40,
+        other_researchers=12,
+        universities=10,
+        hubs_per_topic=3,
+        background_hosts_per_category=3,
+        pages_per_background_host=3,
+        directory_pages_per_category=4,
+    )
+    defaults.update(overrides)
+    return WebGraphConfig(**defaults)
+
+
+@pytest.fixture(scope="session")
+def small_web() -> SyntheticWeb:
+    return SyntheticWeb.generate(small_web_config())
+
+
+@pytest.fixture(scope="session")
+def small_expert_web() -> SyntheticWeb:
+    return SyntheticWeb.generate_expert(seed=7)

@@ -1,0 +1,17 @@
+"""Shared engine configuration for crawler/engine integration tests."""
+
+from __future__ import annotations
+
+from repro.core import BingoConfig
+
+
+def fast_engine_config(**overrides) -> BingoConfig:
+    defaults = dict(
+        learning_fetch_budget=80,
+        retrain_interval=50,
+        negative_examples=15,
+        selected_features=300,
+        tf_preselection=1000,
+    )
+    defaults.update(overrides)
+    return BingoConfig(**defaults)

@@ -1,0 +1,66 @@
+"""Cross-layer consistency: in-memory documents vs database rows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BingoEngine
+
+from tests.core.conftest import fast_engine_config
+
+
+@pytest.fixture(scope="module")
+def consistent_run(small_web):
+    engine = BingoEngine.for_portal(
+        small_web, config=fast_engine_config(validate_storage=True)
+    )
+    report = engine.run(harvesting_fetch_budget=200)
+    return engine, report
+
+
+class TestEngineConsistency:
+    def test_doc_ids_contiguous(self, consistent_run) -> None:
+        engine, _ = consistent_run
+        ids = [doc.doc_id for doc in engine.crawler.documents]
+        assert ids == list(range(len(ids)))
+
+    def test_database_mirrors_memory(self, consistent_run) -> None:
+        engine, report = consistent_run
+        documents = engine.database["documents"]
+        assert len(documents) == len(engine.crawler.documents)
+        for doc in engine.crawler.documents[:30]:
+            row = documents.get(doc.doc_id)
+            assert row is not None
+            assert row["url"] == doc.url
+            assert row["topic"] == doc.topic
+            assert row["confidence"] == pytest.approx(doc.confidence)
+            assert row["page_id"] == doc.page_id
+
+    def test_stored_pages_match_report(self, consistent_run) -> None:
+        engine, report = consistent_run
+        assert report.total.stored_pages == len(engine.crawler.documents)
+
+    def test_term_rows_match_counts(self, consistent_run) -> None:
+        engine, _ = consistent_run
+        terms = engine.database["terms"]
+        doc = engine.crawler.documents[0]
+        rows = terms.lookup(("doc_id",), doc.doc_id)
+        stored = {row["term"]: row["tf"] for row in rows}
+        expected = {t: int(c) for t, c in doc.counts["term"].items()}
+        assert stored == expected
+
+    def test_confidences_finite(self, consistent_run) -> None:
+        import math
+
+        engine, _ = consistent_run
+        for doc in engine.crawler.documents:
+            assert math.isfinite(doc.confidence)
+
+    def test_crawl_log_covers_all_documents(self, consistent_run) -> None:
+        engine, report = consistent_run
+        log = engine.database["crawl_log"]
+        ok_rows = log.lookup(("status",), "ok")
+        # every stored document followed a successful fetch; retries and
+        # errors add further rows
+        assert len(ok_rows) >= report.total.stored_pages
+        assert len(log) == report.total.visited_urls

@@ -1,0 +1,126 @@
+"""Tests for MI-based topic-specific feature selection."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.feature_selection import (
+    mutual_information,
+    select_features,
+)
+
+
+def docs(*term_lists):
+    return [list(terms) for terms in term_lists]
+
+
+class TestMutualInformation:
+    def test_zero_when_any_count_zero(self) -> None:
+        assert mutual_information(0, 5, 5, 10) == 0.0
+        assert mutual_information(1, 0, 5, 10) == 0.0
+        assert mutual_information(1, 5, 0, 10) == 0.0
+        assert mutual_information(1, 5, 5, 0) == 0.0
+
+    def test_positive_for_correlated_feature(self) -> None:
+        # feature appears in all 5 topic docs, nowhere else (n=10)
+        assert mutual_information(5, 5, 5, 10) > 0
+
+    def test_value_matches_formula(self) -> None:
+        value = mutual_information(4, 6, 5, 20)
+        expected = (4 / 20) * math.log((4 / 20) / ((6 / 20) * (5 / 20)))
+        assert value == pytest.approx(expected)
+
+    def test_independent_feature_scores_zero(self) -> None:
+        # P[X and V] == P[X]P[V]: X in half of topic and half of rest
+        value = mutual_information(5, 10, 10, 20)
+        assert value == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSelectFeatures:
+    def test_discriminative_terms_rank_first(self) -> None:
+        """The paper's example: 'theorem' discriminates math from
+        agriculture/arts at the top level."""
+        topic_docs = {
+            "math": docs(
+                ["theorem", "proof", "page"],
+                ["theorem", "lemma", "page"],
+                ["theorem", "proof", "lemma"],
+            ),
+            "agriculture": docs(
+                ["tractor", "field", "page"],
+                ["harvest", "field", "page"],
+            ),
+            "arts": docs(
+                ["paint", "canvas", "page"],
+                ["museum", "canvas", "page"],
+            ),
+        }
+        ranked = select_features(topic_docs, "math")
+        features = [score.feature for score in ranked]
+        assert features[0] == "theorem"
+        # 'page' occurs everywhere -> weak or absent
+        assert "page" not in features[:3]
+
+    def test_level_specific_selection(self) -> None:
+        """'theorem' is useless between algebra and stochastics, where
+        'field' discriminates (paper section 2.3)."""
+        sub_docs = {
+            "algebra": docs(
+                ["theorem", "field", "group"],
+                ["theorem", "field", "ring"],
+            ),
+            "stochastics": docs(
+                ["theorem", "probability", "variance"],
+                ["theorem", "probability", "process"],
+            ),
+        }
+        ranked = select_features(sub_docs, "algebra")
+        features = [score.feature for score in ranked]
+        assert "field" in features[:2]
+        assert "theorem" not in features  # MI == 0, filtered out
+
+    def test_ranks_are_sequential(self) -> None:
+        topic_docs = {
+            "a": docs(["x", "y"], ["x", "z"]),
+            "b": docs(["q"], ["r"]),
+        }
+        ranked = select_features(topic_docs, "a")
+        assert [score.rank for score in ranked] == list(
+            range(1, len(ranked) + 1)
+        )
+
+    def test_selected_features_cap(self) -> None:
+        topic_docs = {
+            "a": docs([f"t{i}" for i in range(100)]),
+            "b": docs(["other"]),
+        }
+        ranked = select_features(topic_docs, "a", selected_features=10)
+        assert len(ranked) == 10
+
+    def test_tf_preselection_limits_candidates(self) -> None:
+        # terms outside the most frequent `tf_preselection` never scored
+        topic_docs = {
+            "a": docs(["common"] * 5 + ["rare"]),
+            "b": docs(["other", "other2"]),
+        }
+        ranked = select_features(topic_docs, "a", tf_preselection=1)
+        features = [score.feature for score in ranked]
+        assert features == ["common"]
+
+    def test_unknown_topic_raises(self) -> None:
+        with pytest.raises(KeyError):
+            select_features({"a": docs(["x"])}, "zzz")
+
+    def test_empty_topic_returns_nothing(self) -> None:
+        assert select_features({"a": [], "b": docs(["x"])}, "a") == []
+
+    def test_weights_descend(self) -> None:
+        topic_docs = {
+            "a": docs(["strong", "weak", "x"], ["strong", "y"], ["strong"]),
+            "b": docs(["weak", "z"], ["other"]),
+        }
+        ranked = select_features(topic_docs, "a")
+        weights = [score.weight for score in ranked]
+        assert weights == sorted(weights, reverse=True)

@@ -1,0 +1,46 @@
+"""Property tests for MI feature selection."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.feature_selection import select_features
+
+terms = st.sampled_from([f"t{i}" for i in range(12)])
+documents = st.lists(st.lists(terms, min_size=1, max_size=8),
+                     min_size=1, max_size=10)
+
+
+@given(documents, documents)
+@settings(max_examples=50, deadline=None)
+def test_selection_invariants(topic_docs, other_docs) -> None:
+    ranked = select_features(
+        {"topic": topic_docs, "other": other_docs}, "topic",
+        tf_preselection=100, selected_features=100,
+    )
+    topic_terms = {t for doc in topic_docs for t in doc}
+    weights = [score.weight for score in ranked]
+    features = [score.feature for score in ranked]
+    # every selected feature occurs in the topic's documents
+    assert set(features) <= topic_terms
+    # strictly positive, descending weights; sequential ranks
+    assert all(w > 0 for w in weights)
+    assert weights == sorted(weights, reverse=True)
+    assert [score.rank for score in ranked] == list(range(1, len(ranked) + 1))
+    # no duplicates
+    assert len(set(features)) == len(features)
+
+
+@given(documents)
+@settings(max_examples=30, deadline=None)
+def test_topic_unique_terms_always_selected(topic_docs) -> None:
+    """Terms that appear only in the topic have positive MI and survive
+    selection (as long as the budget allows)."""
+    other_docs = [["zzz"]]
+    ranked = select_features(
+        {"topic": topic_docs, "other": other_docs}, "topic",
+        tf_preselection=1000, selected_features=1000,
+    )
+    topic_terms = {t for doc in topic_docs for t in doc}
+    assert set(f.feature for f in ranked) == topic_terms

@@ -1,0 +1,109 @@
+"""Tests for the crawl frontier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.frontier import CrawlFrontier, QueueEntry
+
+
+def entry(url: str, topic: str = "t", priority: float = 1.0,
+          depth: int = 0, tunnelled: int = 0) -> QueueEntry:
+    return QueueEntry(
+        url=url, topic=topic, priority=priority, depth=depth,
+        tunnelled=tunnelled,
+    )
+
+
+class TestPushPop:
+    def test_pop_returns_highest_priority(self) -> None:
+        frontier = CrawlFrontier()
+        frontier.push(entry("http://a/", priority=0.2))
+        frontier.push(entry("http://b/", priority=0.9))
+        frontier.push(entry("http://c/", priority=0.5))
+        assert frontier.pop().url == "http://b/"
+        assert frontier.pop().url == "http://c/"
+        assert frontier.pop().url == "http://a/"
+        assert frontier.pop() is None
+
+    def test_fifo_within_equal_priority(self) -> None:
+        frontier = CrawlFrontier()
+        for i in range(5):
+            frontier.push(entry(f"http://x{i}/", priority=1.0))
+        popped = [frontier.pop().url for _ in range(5)]
+        assert popped == [f"http://x{i}/" for i in range(5)]
+
+    def test_duplicate_urls_dropped(self) -> None:
+        frontier = CrawlFrontier()
+        assert frontier.push(entry("http://a/"))
+        assert not frontier.push(entry("http://a/", priority=9.0))
+        assert frontier.duplicate_drops == 1
+        assert len(frontier) == 1
+
+    def test_priorities_compete_across_topics(self) -> None:
+        frontier = CrawlFrontier()
+        frontier.push(entry("http://a/", topic="t1", priority=0.3))
+        frontier.push(entry("http://b/", topic="t2", priority=0.8))
+        assert frontier.pop().topic == "t2"
+
+    def test_has_seen(self) -> None:
+        frontier = CrawlFrontier()
+        frontier.push(entry("http://a/"))
+        assert frontier.has_seen("http://a/")
+        assert not frontier.has_seen("http://b/")
+
+    def test_invalid_limits_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            CrawlFrontier(incoming_limit=0)
+
+
+class TestBounds:
+    def test_incoming_overflow_evicts_worst(self) -> None:
+        frontier = CrawlFrontier(incoming_limit=3, outgoing_limit=3)
+        for i in range(5):
+            frontier.push(entry(f"http://x{i}/", priority=float(i)))
+        assert frontier.evictions == 2
+        popped = []
+        while (e := frontier.pop()) is not None:
+            popped.append(e.priority)
+        # the two lowest-priority entries (0.0, 1.0) were evicted
+        assert popped == [4.0, 3.0, 2.0]
+
+    def test_pending_accounting(self) -> None:
+        frontier = CrawlFrontier()
+        frontier.push(entry("http://a/", topic="t1"))
+        frontier.push(entry("http://b/", topic="t2"))
+        assert frontier.pending_for("t1") == 1
+        assert frontier.pending_for("nope") == 0
+        assert len(frontier) == 2
+        assert frontier.topics == ["t1", "t2"]
+
+
+class TestDnsPrefetch:
+    def test_prefetch_called_on_refill(self) -> None:
+        warmed: list[str] = []
+        frontier = CrawlFrontier(prefetch=lambda url: warmed.append(url) or True)
+        frontier.push(entry("http://a/"))
+        frontier.pop()
+        assert warmed == ["http://a/"]
+
+    def test_unresolvable_urls_dropped(self) -> None:
+        frontier = CrawlFrontier(prefetch=lambda url: "bad" not in url)
+        frontier.push(entry("http://bad.example/"))
+        frontier.push(entry("http://good.example/", priority=0.1))
+        popped = frontier.pop()
+        assert popped is not None
+        assert popped.url == "http://good.example/"
+        assert frontier.dns_drops == 1
+        assert frontier.pop() is None
+
+    def test_refill_batch_limits_prefetches(self) -> None:
+        warmed: list[str] = []
+        frontier = CrawlFrontier(
+            refill_batch=2, prefetch=lambda url: warmed.append(url) or True
+        )
+        for i in range(10):
+            frontier.push(entry(f"http://x{i}/"))
+        frontier.pop()
+        # one refill moved at most refill_batch URLs
+        assert len(warmed) == 2

@@ -1,0 +1,40 @@
+"""Tests for experiment table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import ExperimentTable
+
+
+def test_render_alignment_and_content() -> None:
+    table = ExperimentTable("Title", ["Property", "Value"], note="a note")
+    table.add_row(["Visited URLs", 100_209])
+    table.add_row(["Precision", 0.953])
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert "a note" in lines[1]
+    assert "Property" in lines[2]
+    assert "100,209" in text
+    assert "0.953" in text
+
+
+def test_row_width_mismatch_rejected() -> None:
+    table = ExperimentTable("T", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row([1])
+
+
+def test_float_formatting_trims_zeros() -> None:
+    table = ExperimentTable("T", ["x"])
+    table.add_row([0.5])
+    assert "0.5" in table.render()
+    assert "0.500" not in table.render()
+
+
+def test_empty_table_renders_headers() -> None:
+    table = ExperimentTable("T", ["only", "headers"])
+    text = table.render()
+    assert "only" in text
+    assert "headers" in text

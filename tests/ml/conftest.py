@@ -1,0 +1,45 @@
+"""Shared fixtures: synthetic two-class document sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.text.vectorizer import SparseVector
+
+
+def make_two_class_data(
+    n_per_class: int = 40,
+    n_features: int = 30,
+    overlap: float = 0.2,
+    seed: int = 0,
+) -> tuple[list[SparseVector], list[int]]:
+    """Two topics with mostly disjoint vocabularies plus shared noise."""
+    rng = np.random.default_rng(seed)
+    pos_vocab = [f"pos{i}" for i in range(n_features)]
+    neg_vocab = [f"neg{i}" for i in range(n_features)]
+    shared = [f"bg{i}" for i in range(n_features)]
+    vectors: list[SparseVector] = []
+    labels: list[int] = []
+    for label, vocab in ((1, pos_vocab), (-1, neg_vocab)):
+        for _ in range(n_per_class):
+            weights: dict[str, float] = {}
+            for _ in range(12):
+                if rng.random() < overlap:
+                    term = shared[int(rng.integers(n_features))]
+                else:
+                    term = vocab[int(rng.integers(n_features))]
+                weights[term] = weights.get(term, 0.0) + 1.0
+            vectors.append(SparseVector(weights))
+            labels.append(label)
+    return vectors, labels
+
+
+@pytest.fixture(scope="module")
+def two_class_data() -> tuple[list[SparseVector], list[int]]:
+    return make_two_class_data()
+
+
+@pytest.fixture(scope="module")
+def held_out_data() -> tuple[list[SparseVector], list[int]]:
+    return make_two_class_data(seed=99)

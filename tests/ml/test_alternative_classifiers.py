@@ -1,0 +1,85 @@
+"""Tests for Naive Bayes and Rocchio classifiers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml.naive_bayes import NaiveBayesClassifier
+from repro.ml.rocchio import RocchioClassifier
+from repro.text.vectorizer import SparseVector
+
+from tests.ml.conftest import make_two_class_data
+
+
+@pytest.fixture(params=[NaiveBayesClassifier, RocchioClassifier])
+def classifier_class(request):
+    return request.param
+
+
+def test_fits_and_separates(classifier_class) -> None:
+    vectors, labels = make_two_class_data(seed=1)
+    model = classifier_class().fit(vectors, labels)
+    correct = sum(model.predict(v) == l for v, l in zip(vectors, labels))
+    assert correct / len(labels) >= 0.9
+
+
+def test_generalises(classifier_class) -> None:
+    vectors, labels = make_two_class_data(seed=1)
+    test_vectors, test_labels = make_two_class_data(seed=2)
+    model = classifier_class().fit(vectors, labels)
+    correct = sum(
+        model.predict(v) == l for v, l in zip(test_vectors, test_labels)
+    )
+    assert correct / len(test_labels) >= 0.8
+
+
+def test_decision_sign_consistency(classifier_class) -> None:
+    vectors, labels = make_two_class_data(seed=3)
+    model = classifier_class().fit(vectors, labels)
+    for v in vectors[:8]:
+        assert (model.decision(v) > 0) == (model.predict(v) == 1)
+
+
+def test_untrained_raises(classifier_class) -> None:
+    with pytest.raises(TrainingError):
+        classifier_class().decision(SparseVector({"a": 1.0}))
+
+
+def test_single_class_rejected(classifier_class) -> None:
+    v = SparseVector({"a": 1.0})
+    with pytest.raises(TrainingError):
+        classifier_class().fit([v, v], [1, 1])
+
+
+class TestNaiveBayesSpecifics:
+    def test_unseen_features_uninformative(self) -> None:
+        vectors, labels = make_two_class_data(seed=4)
+        model = NaiveBayesClassifier().fit(vectors, labels)
+        empty = SparseVector({})
+        unseen = SparseVector({"zzz-new": 3.0})
+        assert model.decision(unseen) == pytest.approx(model.decision(empty))
+
+    def test_smoothing_must_be_positive(self) -> None:
+        with pytest.raises(TrainingError):
+            NaiveBayesClassifier(smoothing=0.0)
+
+    def test_prior_reflects_imbalance(self) -> None:
+        pos = [SparseVector({"x": 1.0}) for _ in range(30)]
+        neg = [SparseVector({"y": 1.0}) for _ in range(3)]
+        model = NaiveBayesClassifier().fit(pos + neg, [1] * 30 + [-1] * 3)
+        # with no features, the prior favours the majority class
+        assert model.decision(SparseVector({})) > 0
+
+
+class TestRocchioSpecifics:
+    def test_beta_zero_ignores_negative_centroid(self) -> None:
+        vectors, labels = make_two_class_data(seed=5)
+        model = RocchioClassifier(beta=0.0).fit(vectors, labels)
+        negish = SparseVector({"neg0": 2.0, "neg1": 2.0})
+        # without the negative centroid, a pure-negative doc scores ~0
+        assert model.decision(negish) == pytest.approx(0.0, abs=1e-6)
+
+    def test_negative_beta_rejected(self) -> None:
+        with pytest.raises(TrainingError):
+            RocchioClassifier(beta=-1.0)

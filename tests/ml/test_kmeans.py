@@ -1,0 +1,102 @@
+"""Tests for K-means clustering and entropy-based model selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml.kmeans import KMeans, choose_cluster_count, cluster_impurity
+from repro.text.vectorizer import SparseVector
+
+
+def blob(vocab: list[str], seed: int, n: int = 20) -> list[SparseVector]:
+    rng = np.random.default_rng(seed)
+    docs = []
+    for _ in range(n):
+        weights = {}
+        for _ in range(8):
+            term = vocab[int(rng.integers(len(vocab)))]
+            weights[term] = weights.get(term, 0.0) + 1.0
+        docs.append(SparseVector(weights))
+    return docs
+
+
+@pytest.fixture(scope="module")
+def three_blobs() -> list[SparseVector]:
+    a = blob([f"a{i}" for i in range(10)], seed=1)
+    b = blob([f"b{i}" for i in range(10)], seed=2)
+    c = blob([f"c{i}" for i in range(10)], seed=3)
+    return a + b + c
+
+
+class TestKMeans:
+    def test_recovers_blob_structure(self, three_blobs) -> None:
+        model = KMeans(k=3, seed=0).fit(three_blobs)
+        # documents of one blob should mostly share a cluster
+        for start in (0, 20, 40):
+            cluster_ids = model.assignments[start : start + 20]
+            dominant = np.bincount(cluster_ids).max()
+            assert dominant >= 16
+
+    def test_every_document_assigned(self, three_blobs) -> None:
+        model = KMeans(k=3, seed=0).fit(three_blobs)
+        assert len(model.assignments) == len(three_blobs)
+        assert sum(model.sizes()) == len(three_blobs)
+
+    def test_members_match_assignments(self, three_blobs) -> None:
+        model = KMeans(k=3, seed=0).fit(three_blobs)
+        for cluster in range(3):
+            for i in model.members(cluster):
+                assert model.assignments[i] == cluster
+
+    def test_labels_use_characteristic_terms(self, three_blobs) -> None:
+        model = KMeans(k=3, seed=0).fit(three_blobs)
+        labels = [model.label(c) for c in range(3)]
+        prefixes = {label[0] for label in labels}
+        # the three blobs use a*/b*/c* vocabularies -> distinct prefixes
+        assert len(prefixes) == 3
+
+    def test_k_larger_than_corpus_rejected(self) -> None:
+        with pytest.raises(TrainingError):
+            KMeans(k=5).fit([SparseVector({"a": 1.0})] * 3)
+
+    def test_invalid_k_rejected(self) -> None:
+        with pytest.raises(TrainingError):
+            KMeans(k=0)
+
+    def test_deterministic(self, three_blobs) -> None:
+        a = KMeans(k=3, seed=7).fit(three_blobs)
+        b = KMeans(k=3, seed=7).fit(three_blobs)
+        assert np.array_equal(a.assignments, b.assignments)
+
+
+class TestImpurity:
+    def test_pure_clusters_have_lower_impurity(self, three_blobs) -> None:
+        good = KMeans(k=3, seed=0).fit(three_blobs)
+        collapsed = KMeans(k=1, seed=0).fit(three_blobs)
+        assert good.impurity < collapsed.impurity
+
+    def test_impurity_bounds(self, three_blobs) -> None:
+        model = KMeans(k=3, seed=0).fit(three_blobs)
+        assert 0.0 <= model.impurity <= 1.0
+
+    def test_empty_matrix(self) -> None:
+        assert cluster_impurity(np.zeros((0, 5)), np.array([]), 1) == 0.0
+
+
+class TestModelSelection:
+    def test_chooses_a_feasible_k(self, three_blobs) -> None:
+        model = choose_cluster_count(three_blobs, k_range=(2, 3, 4), seed=0)
+        assert model.k in (2, 3, 4)
+
+    def test_selected_model_minimises_impurity(self, three_blobs) -> None:
+        chosen = choose_cluster_count(three_blobs, k_range=(2, 3, 4), seed=0)
+        impurities = [
+            KMeans(k, seed=0).fit(three_blobs).impurity for k in (2, 3, 4)
+        ]
+        assert chosen.impurity == pytest.approx(min(impurities))
+
+    def test_empty_range_rejected(self, three_blobs) -> None:
+        with pytest.raises(TrainingError):
+            choose_cluster_count(three_blobs, k_range=(100,))

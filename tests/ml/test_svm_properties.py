@@ -1,0 +1,89 @@
+"""Property tests for SVM optimality conditions (KKT) and invariances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.svm import LinearSVM
+from repro.text.vectorizer import SparseVector
+
+
+def dataset_from(seeds: list[int]) -> tuple[list[SparseVector], list[int]]:
+    """Small random two-class sets with guaranteed class presence."""
+    rng = np.random.default_rng(sum(seeds) % (2**32))
+    vectors = []
+    labels = []
+    for i, seed in enumerate(seeds):
+        label = 1 if i % 2 == 0 else -1
+        base = "p" if label == 1 else "n"
+        weights = {
+            f"{base}{int(rng.integers(6))}": float(rng.uniform(0.5, 3))
+            for _ in range(4)
+        }
+        weights[f"shared{seed % 4}"] = float(rng.uniform(0.1, 2))
+        vectors.append(SparseVector(weights))
+        labels.append(label)
+    return vectors, labels
+
+
+seed_lists = st.lists(st.integers(0, 100), min_size=4, max_size=24).filter(
+    lambda s: len(s) >= 4
+)
+
+
+@given(seed_lists)
+@settings(max_examples=30, deadline=None)
+def test_kkt_complementary_slackness(seeds) -> None:
+    """At the (approximate) optimum: alpha in [0, C]; clearly violated
+    margins force alpha to the C bound.
+
+    Tolerances are practical: duplicate training examples create flat
+    directions in the dual where coordinate descent can stop with the
+    total alpha mass correct but individual coordinates slightly off.
+    """
+    vectors, labels = dataset_from(seeds)
+    C = 1.0
+    svm = LinearSVM(C=C, max_epochs=1000, tol=1e-10).fit(vectors, labels)
+    alphas = svm.alphas_
+    slacks = svm.slacks_
+    assert np.all(alphas >= -1e-9)
+    assert np.all(alphas <= C + 1e-9)
+    # aggregate complementary slackness: examples with a clear margin
+    # violation carry (collectively) near-maximal dual mass
+    violated = [
+        alpha for alpha, slack in zip(alphas, slacks) if slack > 1e-2
+    ]
+    if violated:
+        assert min(violated) >= C * 0.5
+        assert np.mean(violated) >= C * 0.9
+
+
+@given(seed_lists, st.floats(0.5, 5.0))
+@settings(max_examples=20, deadline=None)
+def test_decision_invariant_to_input_scaling(seeds, factor) -> None:
+    """With normalisation on, scaling a document leaves decisions fixed."""
+    vectors, labels = dataset_from(seeds)
+    svm = LinearSVM(C=1.0).fit(vectors, labels)
+    probe = vectors[0]
+    scaled = SparseVector({f: w * factor for f, w in probe})
+    assert svm.decision(scaled) == pytest.approx(
+        svm.decision(probe), rel=1e-9, abs=1e-12
+    )
+
+
+@given(seed_lists)
+@settings(max_examples=20, deadline=None)
+def test_label_flip_symmetry(seeds) -> None:
+    """Training with flipped labels negates the decision function."""
+    vectors, labels = dataset_from(seeds)
+    svm_a = LinearSVM(C=1.0, seed=0).fit(vectors, labels)
+    svm_b = LinearSVM(C=1.0, seed=0).fit(
+        vectors, [-label for label in labels]
+    )
+    for probe in vectors[:5]:
+        assert svm_a.decision(probe) == pytest.approx(
+            -svm_b.decision(probe), rel=1e-5, abs=1e-7
+        )

@@ -1,0 +1,95 @@
+"""Tests for the local search engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SearchError
+from repro.search.engine import LocalSearchEngine, RankingWeights
+
+from tests.search.conftest import make_doc
+
+
+class TestFiltering:
+    def test_exact_topic_filter(self, corpus) -> None:
+        engine = LocalSearchEngine(corpus)
+        docs = engine.filter("ROOT/databases", exact=True)
+        assert {d.doc_id for d in docs} == {0, 1, 2}
+
+    def test_vague_filter_includes_subtree(self, corpus) -> None:
+        engine = LocalSearchEngine(corpus)
+        docs = engine.filter("ROOT/databases", exact=False)
+        assert {d.doc_id for d in docs} == {0, 1, 2, 4}
+
+    def test_no_topic_returns_all(self, corpus) -> None:
+        engine = LocalSearchEngine(corpus)
+        assert len(engine.filter(None)) == len(corpus)
+
+
+class TestCosineRanking:
+    def test_best_match_first(self, corpus) -> None:
+        engine = LocalSearchEngine(corpus)
+        hits = engine.search("source code release", topic=None)
+        assert hits[0].document.doc_id == 1
+
+    def test_stemming_applies_to_query(self, corpus) -> None:
+        engine = LocalSearchEngine(corpus)
+        # 'recovery' stems to 'recoveri' matching documents 0/2/4
+        hits = engine.search("recovery", topic=None, top_k=3)
+        assert {h.document.doc_id for h in hits} <= {0, 2, 4}
+
+    def test_empty_query_rejected(self, corpus) -> None:
+        engine = LocalSearchEngine(corpus)
+        with pytest.raises(SearchError):
+            engine.search("the and of")
+
+    def test_top_k_respected(self, corpus) -> None:
+        engine = LocalSearchEngine(corpus)
+        assert len(engine.search("recovery", top_k=2)) == 2
+
+
+class TestCombinedRanking:
+    def test_confidence_ranking(self, corpus) -> None:
+        engine = LocalSearchEngine(corpus)
+        weights = RankingWeights(cosine=0.0, confidence=1.0)
+        hits = engine.search("recovery", topic="ROOT/databases", weights=weights)
+        # doc 0 has the highest confidence among databases docs
+        assert hits[0].document.doc_id == 0
+        confidences = [h.confidence for h in hits]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_authority_ranking(self) -> None:
+        # three docs pointing at one target -> target wins authority
+        target = make_doc(10, {"data": 1}, url="http://t.example/")
+        pointers = [
+            make_doc(
+                11 + i, {"data": 1}, out_urls=("http://t.example/",),
+            )
+            for i in range(3)
+        ]
+        engine = LocalSearchEngine([target, *pointers])
+        weights = RankingWeights(cosine=0.0, authority=1.0)
+        hits = engine.search("data", weights=weights)
+        assert hits[0].document.doc_id == 10
+
+    def test_combined_weights_blend(self, corpus) -> None:
+        engine = LocalSearchEngine(corpus)
+        weights = RankingWeights(cosine=0.5, confidence=0.5)
+        hits = engine.search("recovery", topic="ROOT/databases", weights=weights)
+        for hit in hits:
+            assert hit.score == pytest.approx(
+                0.5 * hit.cosine + 0.5 * hit.confidence
+            )
+
+    def test_invalid_weights_rejected(self, corpus) -> None:
+        engine = LocalSearchEngine(corpus)
+        with pytest.raises(SearchError):
+            engine.search(
+                "x", weights=RankingWeights(cosine=0.0)
+            )
+        with pytest.raises(SearchError):
+            RankingWeights(cosine=-1.0).validate()
+
+    def test_empty_candidate_set(self, corpus) -> None:
+        engine = LocalSearchEngine(corpus)
+        assert engine.search("recovery", topic="ROOT/nothing") == []

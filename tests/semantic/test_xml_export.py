@@ -1,0 +1,75 @@
+"""Tests for semantic XML generation."""
+
+from __future__ import annotations
+
+from xml.etree import ElementTree as ET
+
+import pytest
+
+from repro.semantic.xml_export import XmlExporter, document_to_xml
+
+from tests.search.conftest import make_doc
+
+
+@pytest.fixture()
+def documents():
+    return [
+        make_doc(
+            0, {"recoveri": 5, "algorithm": 2},
+            topic="ROOT/databases", confidence=0.9,
+            out_urls=("http://t.example/a", "http://t.example/b"),
+        ),
+        make_doc(1, {"sport": 4}, topic="ROOT/OTHERS", confidence=0.1),
+    ]
+
+
+class TestDocumentToXml:
+    def test_structure(self, documents) -> None:
+        element = document_to_xml(documents[0])
+        assert element.tag == "document"
+        assert element.get("url") == documents[0].final_url
+        topic = element.find("classification/topic")
+        assert topic is not None
+        assert topic.get("path") == "ROOT/databases"
+        assert float(topic.get("confidence")) == pytest.approx(0.9)
+
+    def test_terms_sorted_by_weight(self, documents) -> None:
+        element = document_to_xml(documents[0])
+        terms = element.findall("terms/term")
+        assert [t.get("stem") for t in terms] == ["recoveri", "algorithm"]
+        assert int(terms[0].get("tf")) == 5
+
+    def test_links_preserved(self, documents) -> None:
+        element = document_to_xml(documents[0])
+        hrefs = [link.get("href") for link in element.findall("links/link")]
+        assert hrefs == ["http://t.example/a", "http://t.example/b"]
+
+    def test_max_terms_cap(self, documents) -> None:
+        element = document_to_xml(documents[0], max_terms=1)
+        assert len(element.findall("terms/term")) == 1
+
+
+class TestXmlExporter:
+    def test_collection_counts(self, documents) -> None:
+        exporter = XmlExporter(documents)
+        root = exporter.to_element()
+        assert root.tag == "crawl"
+        assert root.get("documents") == "2"
+        assert len(root.findall("document")) == 2
+
+    def test_topic_filter(self, documents) -> None:
+        root = XmlExporter(documents).to_element(topics=["ROOT/databases"])
+        assert root.get("documents") == "1"
+
+    def test_weights_use_idf(self, documents) -> None:
+        root = XmlExporter(documents).to_element()
+        term = root.find("document/terms/term[@stem='recoveri']")
+        assert term is not None
+        # tf*idf weighting: weight differs from the raw tf
+        assert float(term.get("weight")) != float(term.get("tf"))
+
+    def test_write_round_trips(self, documents, tmp_path) -> None:
+        path = XmlExporter(documents).write(tmp_path / "crawl.xml")
+        parsed = ET.parse(path).getroot()
+        assert parsed.tag == "crawl"
+        assert len(parsed.findall("document")) == 2

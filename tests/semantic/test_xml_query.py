@@ -1,0 +1,113 @@
+"""Tests for XXL-style ranked XML retrieval."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SearchError
+from repro.semantic.xml_export import XmlExporter
+from repro.semantic.xml_query import parse_query
+
+from tests.search.conftest import make_doc
+
+
+@pytest.fixture(scope="module")
+def collection():
+    documents = [
+        make_doc(
+            0, {"recoveri": 6, "log": 2},
+            topic="ROOT/databases", confidence=0.9,
+        ),
+        make_doc(
+            1, {"sourc": 4, "code": 4, "releas": 2},
+            topic="ROOT/databases", confidence=0.5,
+        ),
+        make_doc(2, {"sport": 5}, topic="ROOT/OTHERS", confidence=0.1),
+    ]
+    return XmlExporter(documents).to_element()
+
+
+class TestParsing:
+    def test_simple_path(self) -> None:
+        query = parse_query("crawl/document/terms")
+        assert [step.tag for step in query.steps] == [
+            "crawl", "document", "terms",
+        ]
+        assert not any(step.descend for step in query.steps)
+
+    def test_descendant_axis(self) -> None:
+        query = parse_query("crawl//term")
+        assert query.steps[1].descend
+
+    def test_attribute_predicate(self) -> None:
+        query = parse_query('document[@mime="text/html"]')
+        assert query.steps[0].attribute_filters == (("mime", "text/html"),)
+
+    def test_similarity_predicate(self) -> None:
+        query = parse_query('term[~"recovery"]')
+        assert query.steps[0].similarity == "recovery"
+
+    def test_combined_predicates(self) -> None:
+        query = parse_query('topic[@path="ROOT/databases"][~"database"]')
+        step = query.steps[0]
+        assert step.attribute_filters == (("path", "ROOT/databases"),)
+        assert step.similarity == "database"
+
+    def test_empty_query_rejected(self) -> None:
+        with pytest.raises(SearchError):
+            parse_query("   ")
+
+    def test_malformed_step_rejected(self) -> None:
+        with pytest.raises(SearchError):
+            parse_query("crawl/##bad##")
+
+
+class TestEvaluation:
+    def test_boolean_path_match(self, collection) -> None:
+        matches = parse_query("crawl/document").run(collection, top_k=10)
+        assert len(matches) == 3
+        assert all(m.score == 1.0 for m in matches)
+
+    def test_attribute_filter(self, collection) -> None:
+        matches = parse_query(
+            'crawl/document/classification/topic[@path="ROOT/databases"]'
+        ).run(collection)
+        assert len(matches) == 2
+
+    def test_descendant_search(self, collection) -> None:
+        matches = parse_query('crawl//term[@stem="recoveri"]').run(collection)
+        assert len(matches) == 1
+        assert matches[0].document_id == "0"
+
+    def test_similarity_ranking(self, collection) -> None:
+        matches = parse_query('crawl/document/terms[~"source code"]').run(
+            collection
+        )
+        assert matches
+        # the source/code document's terms element ranks first
+        assert matches[0].document_id == "1"
+        scores = [m.score for m in matches]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_similarity_drops_zero_scores(self, collection) -> None:
+        matches = parse_query('crawl/document/terms[~"zebra"]').run(collection)
+        assert matches == []
+
+    def test_top_k(self, collection) -> None:
+        matches = parse_query("crawl//term").run(collection, top_k=2)
+        assert len(matches) == 2
+
+    def test_wildcard_tag(self, collection) -> None:
+        matches = parse_query("crawl/document/*").run(collection, top_k=50)
+        tags = {m.element.tag for m in matches}
+        assert {"title", "classification", "terms", "links"} <= tags
+
+    def test_score_multiplies_along_path(self, collection) -> None:
+        combined = parse_query(
+            'crawl/document[~"recovery"]/terms/term[~"recovery"]'
+        ).run(collection)
+        assert combined
+        single = parse_query(
+            'crawl/document/terms/term[~"recovery"]'
+        ).run(collection)
+        assert combined[0].score <= single[0].score

@@ -1,0 +1,73 @@
+"""Tests for workspace batching and the bulk loader."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.bulkloader import BulkLoader
+from repro.storage.database import Database
+
+
+def topic_row(i: int) -> dict:
+    return {"topic": f"t{i}", "parent": None, "depth": 0}
+
+
+class TestBulkLoader:
+    def test_batch_size_must_be_positive(self) -> None:
+        with pytest.raises(ValueError):
+            BulkLoader(Database(), batch_size=0)
+
+    def test_rows_buffered_until_batch_full(self) -> None:
+        loader = BulkLoader(Database(), batch_size=10)
+        for i in range(9):
+            loader.add(0, "topics", topic_row(i))
+        assert loader.rows_loaded == 0
+        assert loader.pending == 9
+        loader.add(0, "topics", topic_row(9))
+        assert loader.rows_loaded == 10
+        assert loader.pending == 0
+        assert loader.flushes == 1
+
+    def test_flush_all_drains_partial_buffers(self) -> None:
+        database = Database()
+        loader = BulkLoader(database, batch_size=100)
+        for i in range(7):
+            loader.add(0, "topics", topic_row(i))
+        assert loader.flush_all() == 7
+        assert len(database["topics"]) == 7
+        assert loader.flush_all() == 0  # idempotent when empty
+
+    def test_workspaces_are_per_thread(self) -> None:
+        loader = BulkLoader(Database(), batch_size=5)
+        for thread in range(3):
+            for i in range(4):
+                loader.add(thread, "topics", topic_row(thread * 10 + i))
+        # no single workspace reached the batch size
+        assert loader.rows_loaded == 0
+        assert loader.pending == 12
+        assert loader.flush_all() == 12
+
+    def test_batching_reduces_statement_count(self) -> None:
+        """The efficiency lesson of section 4.1: one statement per batch."""
+        batched = Database()
+        loader = BulkLoader(batched, batch_size=50)
+        for i in range(200):
+            loader.add(0, "topics", topic_row(i))
+        loader.flush_all()
+
+        row_at_a_time = Database()
+        for i in range(200):
+            row_at_a_time["topics"].insert(topic_row(i))
+
+        assert batched["topics"].statements == 4
+        assert row_at_a_time["topics"].statements == 200
+        assert len(batched["topics"]) == len(row_at_a_time["topics"])
+
+    def test_multiple_relations_per_workspace(self) -> None:
+        database = Database()
+        loader = BulkLoader(database, batch_size=100)
+        loader.add(0, "topics", topic_row(1))
+        loader.add(0, "hosts", {"host": "h", "ip": None, "state": "ok", "failures": 0})
+        loader.flush_all()
+        assert len(database["topics"]) == 1
+        assert len(database["hosts"]) == 1

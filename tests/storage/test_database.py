@@ -1,0 +1,143 @@
+"""Tests for the embedded relational store."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.database import Database, Relation
+from repro.storage.schema import Column, RelationSchema
+
+
+def make_relation() -> Relation:
+    return Relation(
+        RelationSchema(
+            name="docs",
+            columns=(
+                Column("doc_id", int),
+                Column("url", str),
+                Column("topic", str, nullable=True),
+            ),
+            primary_key=("doc_id",),
+            indexes=(("url",), ("topic",)),
+        )
+    )
+
+
+class TestRelation:
+    def test_insert_and_get(self) -> None:
+        rel = make_relation()
+        rel.insert({"doc_id": 1, "url": "http://a/", "topic": "db"})
+        assert rel.get(1)["url"] == "http://a/"
+        assert len(rel) == 1
+
+    def test_duplicate_pk_rejected(self) -> None:
+        rel = make_relation()
+        rel.insert({"doc_id": 1, "url": "http://a/", "topic": None})
+        with pytest.raises(StorageError):
+            rel.insert({"doc_id": 1, "url": "http://b/", "topic": None})
+
+    def test_index_lookup(self) -> None:
+        rel = make_relation()
+        rel.insert({"doc_id": 1, "url": "http://a/", "topic": "db"})
+        rel.insert({"doc_id": 2, "url": "http://b/", "topic": "db"})
+        rel.insert({"doc_id": 3, "url": "http://c/", "topic": "ir"})
+        assert len(rel.lookup(("topic",), "db")) == 2
+        assert rel.lookup(("url",), "http://c/")[0]["doc_id"] == 3
+        assert rel.lookup(("topic",), "none-such") == []
+
+    def test_lookup_on_undeclared_index_raises(self) -> None:
+        rel = make_relation()
+        with pytest.raises(StorageError):
+            rel.lookup(("doc_id",), 1)
+
+    def test_scan_with_predicate(self) -> None:
+        rel = make_relation()
+        for i in range(5):
+            rel.insert({"doc_id": i, "url": f"http://{i}/", "topic": None})
+        assert len(rel.scan(lambda r: r["doc_id"] % 2 == 0)) == 3
+        assert len(rel.scan()) == 5
+
+    def test_delete_maintains_indexes(self) -> None:
+        rel = make_relation()
+        rel.insert({"doc_id": 1, "url": "http://a/", "topic": "db"})
+        rel.insert({"doc_id": 2, "url": "http://b/", "topic": "db"})
+        assert rel.delete(topic="db") == 2
+        assert rel.lookup(("topic",), "db") == []
+        assert len(rel) == 0
+
+    def test_update_reindexes(self) -> None:
+        rel = make_relation()
+        rel.insert({"doc_id": 1, "url": "http://a/", "topic": "db"})
+        rel.update((1,), topic="ir")
+        assert rel.lookup(("topic",), "db") == []
+        assert rel.lookup(("topic",), "ir")[0]["doc_id"] == 1
+
+    def test_update_unknown_key_raises(self) -> None:
+        with pytest.raises(StorageError):
+            make_relation().update((9,), topic="x")
+
+    def test_update_key_column_rejected(self) -> None:
+        rel = make_relation()
+        rel.insert({"doc_id": 1, "url": "http://a/", "topic": None})
+        with pytest.raises(StorageError):
+            rel.update((1,), doc_id=2)
+
+    def test_upsert_replaces(self) -> None:
+        rel = make_relation()
+        rel.upsert({"doc_id": 1, "url": "http://a/", "topic": "db"})
+        rel.upsert({"doc_id": 1, "url": "http://a2/", "topic": "ir"})
+        assert len(rel) == 1
+        assert rel.get(1)["url"] == "http://a2/"
+        assert rel.lookup(("url",), "http://a/") == []
+
+    def test_bulk_insert_counts_one_statement(self) -> None:
+        rel = make_relation()
+        rows = [
+            {"doc_id": i, "url": f"http://{i}/", "topic": None}
+            for i in range(50)
+        ]
+        assert rel.bulk_insert(rows) == 50
+        assert rel.statements == 1
+        assert len(rel) == 50
+
+    def test_contains(self) -> None:
+        rel = make_relation()
+        rel.insert({"doc_id": 7, "url": "http://x/", "topic": None})
+        assert (7,) in rel
+        assert (8,) not in rel
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), unique=True, max_size=60))
+    def test_insert_then_get_roundtrip(self, ids: list[int]) -> None:
+        rel = make_relation()
+        for i in ids:
+            rel.insert({"doc_id": i, "url": f"http://{i}/", "topic": None})
+        for i in ids:
+            assert rel.get(i)["doc_id"] == i
+        assert len(rel) == len(ids)
+
+
+class TestDatabase:
+    def test_default_schema_loaded(self) -> None:
+        database = Database()
+        assert len(database.relations) == 24
+        assert database["documents"].schema.name == "documents"
+
+    def test_unknown_relation_raises(self) -> None:
+        with pytest.raises(StorageError):
+            Database().table("nope")
+
+    def test_total_rows_and_statements(self) -> None:
+        database = Database()
+        database["topics"].insert({"topic": "db", "parent": None, "depth": 0})
+        database["topics"].insert({"topic": "ir", "parent": None, "depth": 0})
+        assert database.total_rows == 2
+        assert database.total_statements == 2
+
+    def test_validate_flag_disables_checks(self) -> None:
+        database = Database(validate=False)
+        # wrong type slips through when validation is off (fast path)
+        database["topics"].insert({"topic": 5, "parent": None, "depth": "x"})
+        assert database.total_rows == 1

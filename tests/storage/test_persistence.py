@@ -1,0 +1,73 @@
+"""Tests for database dump/restore."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.database import Database
+from repro.storage.persistence import dump_database, load_database
+
+
+def populated_database() -> Database:
+    database = Database()
+    database["topics"].insert({"topic": "db", "parent": None, "depth": 0})
+    database["documents"].insert({
+        "doc_id": 1, "url": "http://a/", "host": "a", "mime": "text/html",
+        "size": 100, "title": "t", "topic": "db", "confidence": 0.5,
+        "crawl_depth": 0, "fetched_at": 1.0, "page_id": 7,
+    })
+    database["terms"].insert({"doc_id": 1, "term": "databas", "tf": 3})
+    return database
+
+
+class TestRoundTrip:
+    def test_dump_and_load(self, tmp_path) -> None:
+        database = populated_database()
+        rows = dump_database(database, tmp_path)
+        assert rows == 3
+        restored = load_database(tmp_path)
+        assert restored.total_rows == 3
+        assert restored["documents"].get(1)["url"] == "http://a/"
+        assert restored["terms"].lookup(("term",), "databas")
+
+    def test_indexes_rebuilt_after_load(self, tmp_path) -> None:
+        dump_database(populated_database(), tmp_path)
+        restored = load_database(tmp_path)
+        hits = restored["documents"].lookup(("topic",), "db")
+        assert len(hits) == 1
+
+    def test_empty_database_round_trips(self, tmp_path) -> None:
+        dump_database(Database(), tmp_path)
+        restored = load_database(tmp_path)
+        assert restored.total_rows == 0
+
+
+class TestFailureModes:
+    def test_missing_manifest(self, tmp_path) -> None:
+        with pytest.raises(StorageError):
+            load_database(tmp_path)
+
+    def test_wrong_format_version(self, tmp_path) -> None:
+        dump_database(Database(), tmp_path)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        manifest["format_version"] = 99
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StorageError):
+            load_database(tmp_path)
+
+    def test_schema_mismatch_detected(self, tmp_path) -> None:
+        dump_database(populated_database(), tmp_path)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        manifest["relations"]["documents"]["columns"] = ["doc_id", "zzz"]
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StorageError):
+            load_database(tmp_path)
+
+    def test_row_count_mismatch_detected(self, tmp_path) -> None:
+        dump_database(populated_database(), tmp_path)
+        (tmp_path / "terms.jsonl").write_text("")  # truncate
+        with pytest.raises(StorageError):
+            load_database(tmp_path)

@@ -1,0 +1,89 @@
+"""Tests for relation schema declarations and row validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.schema import BINGO_SCHEMA, Column, RelationSchema
+
+
+def simple_schema() -> RelationSchema:
+    return RelationSchema(
+        name="t",
+        columns=(
+            Column("id", int),
+            Column("name", str),
+            Column("score", float, nullable=True),
+        ),
+        primary_key=("id",),
+        indexes=(("name",),),
+    )
+
+
+class TestColumn:
+    def test_accepts_matching_type(self) -> None:
+        Column("x", int).check(5)
+
+    def test_rejects_wrong_type(self) -> None:
+        with pytest.raises(SchemaError):
+            Column("x", int).check("five")
+
+    def test_nullable(self) -> None:
+        Column("x", str, nullable=True).check(None)
+        with pytest.raises(SchemaError):
+            Column("x", str).check(None)
+
+    def test_int_accepted_for_float_column(self) -> None:
+        Column("x", float).check(3)
+
+
+class TestRelationSchema:
+    def test_validate_row_ok(self) -> None:
+        simple_schema().validate_row({"id": 1, "name": "a", "score": None})
+
+    def test_unknown_column_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            simple_schema().validate_row({"id": 1, "name": "a", "zzz": 1})
+
+    def test_missing_non_nullable_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            simple_schema().validate_row({"id": 1})
+
+    def test_duplicate_columns_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            RelationSchema(
+                "bad", (Column("a", int), Column("a", int)), ("a",)
+            )
+
+    def test_key_over_unknown_column_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            RelationSchema("bad", (Column("a", int),), ("zzz",))
+
+    def test_index_over_unknown_column_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            RelationSchema(
+                "bad", (Column("a", int),), ("a",), indexes=(("zzz",),)
+            )
+
+
+class TestBingoSchema:
+    def test_has_24_flat_relations(self) -> None:
+        assert len(BINGO_SCHEMA) == 24
+
+    def test_core_relations_present(self) -> None:
+        for name in [
+            "documents", "terms", "links", "anchor_texts", "features",
+            "training_documents", "archetypes", "crawl_frontier",
+            "authority_scores", "hosts", "duplicates", "redirects",
+        ]:
+            assert name in BINGO_SCHEMA
+
+    def test_every_relation_has_primary_key(self) -> None:
+        for schema in BINGO_SCHEMA.values():
+            assert schema.primary_key
+
+    def test_documents_indexed_by_url_and_topic(self) -> None:
+        indexes = BINGO_SCHEMA["documents"].indexes
+        assert ("url",) in indexes
+        assert ("topic",) in indexes

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_portal_defaults(self) -> None:
+        args = build_parser().parse_args(["portal"])
+        assert args.seed == 17
+        assert args.short == 700
+        assert args.long == 6000
+
+    def test_expert_arguments(self) -> None:
+        args = build_parser().parse_args(
+            ["expert", "--seed", "3", "--budget", "150"]
+        )
+        assert args.seed == 3
+        assert args.budget == 150
+
+    def test_ablate_choices_validated(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablate", "--which", "nonsense"])
+
+    def test_crawl_export_flags(self) -> None:
+        args = build_parser().parse_args(
+            ["crawl", "--export-portal", "x", "--dump-db", "y"]
+        )
+        assert args.export_portal == "x"
+        assert args.dump_db == "y"
+
+
+class TestCrawlCommand:
+    def test_crawl_prints_and_exports(self, tmp_path, capsys) -> None:
+        portal_dir = tmp_path / "portal"
+        db_dir = tmp_path / "db"
+        code = main([
+            "crawl", "--seed", "7", "--budget", "120",
+            "--export-portal", str(portal_dir),
+            "--dump-db", str(db_dir),
+            "--top", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "visited_urls" in out
+        assert "top 3 results" in out
+        assert (portal_dir / "index.html").exists()
+        assert (db_dir / "manifest.json").exists()
+
+    def test_expert_command_runs(self, capsys) -> None:
+        code = main(["expert", "--budget", "200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "Figure 5" in out

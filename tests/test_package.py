@@ -1,0 +1,49 @@
+"""Package-level tests: public API surface and lazy exports."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestLazyExports:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "SyntheticWeb", "WebGraphConfig", "BingoEngine", "BingoConfig",
+            "FocusedCrawler", "TopicTree", "LocalSearchEngine",
+        ],
+    )
+    def test_headline_api_resolves(self, name: str) -> None:
+        attribute = getattr(repro, name)
+        assert attribute is not None
+        assert attribute.__name__ == name
+
+    def test_unknown_attribute_raises(self) -> None:
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_errors_exported_eagerly(self) -> None:
+        assert issubclass(repro.CrawlError, repro.ReproError)
+        assert issubclass(repro.SchemaError, repro.StorageError)
+
+    def test_version(self) -> None:
+        assert repro.__version__
+
+
+class TestSubpackageAll:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.text", "repro.web", "repro.storage", "repro.ml",
+            "repro.analysis", "repro.core", "repro.search",
+            "repro.semantic", "repro.experiments",
+        ],
+    )
+    def test_all_names_resolve(self, module_name: str) -> None:
+        import importlib
+
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert getattr(module, name) is not None, name

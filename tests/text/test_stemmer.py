@@ -1,0 +1,158 @@
+"""Unit and property tests for the classic Porter stemmer."""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.stemmer import PorterStemmer, stem
+
+
+@pytest.fixture(scope="module")
+def stemmer() -> PorterStemmer:
+    return PorterStemmer()
+
+
+# Vocabulary -> stem pairs from the original Porter (1980) paper examples
+# plus the stems the BINGO! paper itself reports for its Data Mining topic
+# (mine, knowledg, discov, cluster, pattern, genet).
+KNOWN_STEMS = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+    # BINGO! paper section 2.3 sample stems:
+    ("mining", "mine"),
+    ("knowledge", "knowledg"),
+    ("discovery", "discoveri"),
+    ("patterns", "pattern"),
+    ("clustering", "cluster"),
+    ("genetic", "genet"),
+]
+
+
+@pytest.mark.parametrize("word,expected", KNOWN_STEMS)
+def test_known_stems(stemmer: PorterStemmer, word: str, expected: str) -> None:
+    assert stemmer.stem(word) == expected
+
+
+def test_short_words_untouched(stemmer: PorterStemmer) -> None:
+    for word in ["a", "at", "is", "be", "ox"]:
+        assert stemmer.stem(word) == word
+
+
+def test_stemming_is_lowercasing(stemmer: PorterStemmer) -> None:
+    assert stemmer.stem("Databases") == stemmer.stem("databases")
+    assert stemmer.stem("MINING") == "mine"
+
+
+def test_module_level_helper_matches_class() -> None:
+    stemmer = PorterStemmer()
+    for word in ["recovery", "algorithms", "implementation"]:
+        assert stem(word) == stemmer.stem(word)
+
+
+def test_measure_helper() -> None:
+    # m counts VC sequences: tr-ee -> 0, tr-oubl-e(s) -> 1/2 etc.
+    assert PorterStemmer._measure("tr") == 0
+    assert PorterStemmer._measure("ee") == 0
+    assert PorterStemmer._measure("tree") == 0
+    assert PorterStemmer._measure("by") == 0
+    assert PorterStemmer._measure("trouble") == 1
+    assert PorterStemmer._measure("oats") == 1
+    assert PorterStemmer._measure("trees") == 1
+    assert PorterStemmer._measure("ivy") == 1
+    assert PorterStemmer._measure("troubles") == 2
+    assert PorterStemmer._measure("private") == 2
+    assert PorterStemmer._measure("oaten") == 2
+
+
+@given(st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=20))
+def test_stem_is_idempotent_in_practice_no_crash(word: str) -> None:
+    """Stemming never crashes and never grows a word by more than one char.
+
+    (Step 1b can add a trailing 'e', e.g. conflat(ed) -> conflate, so the
+    output may be at most one character longer than the input stem basis.)
+    """
+    out = stem(word)
+    assert isinstance(out, str)
+    assert len(out) <= len(word) + 1
+
+
+@given(st.text(alphabet=string.ascii_lowercase, min_size=3, max_size=20))
+def test_stem_deterministic(word: str) -> None:
+    assert stem(word) == stem(word)

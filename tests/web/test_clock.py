@@ -1,0 +1,88 @@
+"""Tests for the simulated clock and worker pool."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.web.clock import SimulatedClock, WorkerPool
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self) -> None:
+        assert SimulatedClock().now == 0.0
+
+    def test_advance(self) -> None:
+        clock = SimulatedClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.advance(1.0) == 3.5
+
+    def test_negative_advance_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1.0)
+
+    def test_advance_to_never_rewinds(self) -> None:
+        clock = SimulatedClock(now=10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+        clock.advance_to(12.0)
+        assert clock.now == 12.0
+
+
+class TestWorkerPool:
+    def test_pool_requires_positive_size(self) -> None:
+        with pytest.raises(ValueError):
+            WorkerPool(size=0, clock=SimulatedClock())
+
+    def test_single_worker_serialises(self) -> None:
+        clock = SimulatedClock()
+        pool = WorkerPool(size=1, clock=clock)
+        s1, e1 = pool.run(2.0)
+        s2, e2 = pool.run(3.0)
+        assert (s1, e1) == (0.0, 2.0)
+        assert (s2, e2) == (2.0, 5.0)
+
+    def test_two_workers_overlap(self) -> None:
+        clock = SimulatedClock()
+        pool = WorkerPool(size=2, clock=clock)
+        s1, _ = pool.run(10.0)
+        s2, _ = pool.run(10.0)
+        # both start immediately: 2 workers
+        assert s1 == 0.0
+        assert s2 == 0.0
+        s3, _ = pool.run(1.0)
+        assert s3 == 10.0  # third task waits for a worker
+
+    def test_negative_duration_rejected(self) -> None:
+        pool = WorkerPool(size=1, clock=SimulatedClock())
+        with pytest.raises(ValueError):
+            pool.run(-0.5)
+
+    def test_drain_advances_to_last_end(self) -> None:
+        clock = SimulatedClock()
+        pool = WorkerPool(size=3, clock=clock)
+        pool.run(1.0)
+        pool.run(7.0)
+        pool.run(3.0)
+        assert pool.drain() == 7.0
+        assert clock.now == 7.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=40),
+           st.integers(min_value=1, max_value=8))
+    def test_makespan_bounds(self, durations: list[float], size: int) -> None:
+        """Total makespan lies between max duration and serial sum."""
+        clock = SimulatedClock()
+        pool = WorkerPool(size=size, clock=clock)
+        for duration in durations:
+            pool.run(duration)
+        makespan = pool.drain()
+        assert makespan >= max(durations) - 1e-9
+        assert makespan <= sum(durations) + 1e-9
+
+    def test_worker_starts_never_before_clock(self) -> None:
+        clock = SimulatedClock()
+        pool = WorkerPool(size=2, clock=clock)
+        clock.advance(5.0)
+        start, _ = pool.run(1.0)
+        assert start == 5.0

@@ -1,0 +1,93 @@
+"""Tests for the DBLP-style registry and the found-author metric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.web.dblp import DblpRegistry
+from repro.web.model import Researcher
+
+
+def researcher(author_id: int, pubs: int, url: str, topic="databases") -> Researcher:
+    return Researcher(
+        author_id=author_id, name=f"r{author_id}", topic=topic,
+        publication_count=pubs, homepage_page_id=author_id,
+        homepage_url=url,
+    )
+
+
+@pytest.fixture()
+def registry() -> DblpRegistry:
+    return DblpRegistry(
+        [
+            researcher(0, 258, "http://u0.edu/~alice/index.html"),
+            researcher(1, 100, "http://u1.edu/~bob/index.html"),
+            researcher(2, 40, "http://u0.edu/~carol/index.html"),
+            researcher(3, 5, "http://u2.edu/~dave/index.html", topic="ir"),
+        ]
+    )
+
+
+class TestRegistry:
+    def test_ranked_by_publications(self, registry: DblpRegistry) -> None:
+        assert [r.author_id for r in registry.top_authors(2)] == [0, 1]
+
+    def test_topic_filter(self) -> None:
+        filtered = DblpRegistry(
+            [
+                researcher(0, 10, "http://u/~a/index.html", topic="databases"),
+                researcher(1, 90, "http://u/~b/index.html", topic="ir"),
+            ],
+            topic="databases",
+        )
+        assert len(filtered) == 1
+
+    def test_homepage_itself_counts(self, registry: DblpRegistry) -> None:
+        assert registry.author_of_url("http://u0.edu/~alice/index.html") == 0
+
+    def test_page_underneath_counts(self, registry: DblpRegistry) -> None:
+        assert registry.author_of_url("http://u0.edu/~alice/papers/p1.pdf") == 0
+
+    def test_unrelated_page_does_not_count(self, registry: DblpRegistry) -> None:
+        assert registry.author_of_url("http://u0.edu/~zed/index.html") is None
+
+    def test_sibling_directory_not_confused(self, registry: DblpRegistry) -> None:
+        # ~aliceX is not underneath ~alice/
+        assert registry.author_of_url("http://u0.edu/~aliceX/p.html") is None
+
+    def test_found_authors_distinct(self, registry: DblpRegistry) -> None:
+        found = registry.found_authors(
+            [
+                "http://u0.edu/~alice/index.html",
+                "http://u0.edu/~alice/cv.html",
+                "http://u1.edu/~bob/pubs.html",
+                "http://elsewhere.com/x",
+            ]
+        )
+        assert found == {0, 1}
+
+    def test_score_rows(self, registry: DblpRegistry) -> None:
+        ranked = [
+            "http://u2.edu/~dave/index.html",     # rank 1: dave (not top-2)
+            "http://u0.edu/~alice/pubs.html",     # rank 2: alice (top-2)
+            "http://noise.example/x",             # rank 3: nothing
+            "http://u1.edu/~bob/index.html",      # rank 4: bob (top-2)
+        ]
+        rows = registry.score(ranked, cutoffs=[2, 0], top_k=2)
+        first, full = rows
+        assert first.cutoff == 2
+        assert first.found_top == 1   # alice only
+        assert first.found_all == 2   # dave + alice
+        assert full.cutoff == 4
+        assert full.found_top == 2
+        assert full.found_all == 3
+
+    def test_recall_monotone_in_cutoff(self, registry: DblpRegistry) -> None:
+        ranked = [
+            "http://u0.edu/~alice/index.html",
+            "http://u1.edu/~bob/index.html",
+            "http://u0.edu/~carol/index.html",
+        ]
+        rows = registry.score(ranked, cutoffs=[1, 2, 3], top_k=3)
+        found = [row.found_all for row in rows]
+        assert found == sorted(found)

@@ -1,0 +1,112 @@
+"""Tests for the simulated DNS stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DNSError
+from repro.web.clock import SimulatedClock
+from repro.web.dns import CachingResolver, DnsServer, DnsZone
+
+
+def make_zone() -> DnsZone:
+    zone = DnsZone()
+    zone.register("a.example", "10.0.0.1")
+    zone.register("b.example", "10.0.0.2", aliases=("www.b.example",))
+    return zone
+
+
+def make_resolver(
+    clock=None, timeout_rate=0.0, capacity=100, ttl=3600.0, servers=2
+) -> CachingResolver:
+    clock = clock or SimulatedClock()
+    zone = make_zone()
+    pool = [
+        DnsServer(zone, latency=0.1, timeout_rate=timeout_rate, name=f"dns{i}")
+        for i in range(servers)
+    ]
+    return CachingResolver(pool, clock, capacity=capacity, ttl=ttl, seed=1)
+
+
+class TestZone:
+    def test_lookup(self) -> None:
+        zone = make_zone()
+        assert zone.lookup("a.example") == ("a.example", "10.0.0.1")
+
+    def test_alias_resolves_to_canonical(self) -> None:
+        zone = make_zone()
+        assert zone.lookup("www.b.example") == ("b.example", "10.0.0.2")
+
+    def test_unknown_host(self) -> None:
+        assert make_zone().lookup("nope.example") is None
+
+
+class TestCachingResolver:
+    def test_miss_then_hit(self) -> None:
+        resolver = make_resolver()
+        first = resolver.resolve("a.example")
+        assert not first.cache_hit
+        assert first.latency > 0
+        second = resolver.resolve("a.example")
+        assert second.cache_hit
+        assert second.latency == 0.0
+        assert resolver.hits == 1
+        assert resolver.misses == 1
+
+    def test_unknown_host_raises(self) -> None:
+        resolver = make_resolver()
+        with pytest.raises(DNSError):
+            resolver.resolve("missing.example")
+
+    def test_alias_lookup_caches_canonical_too(self) -> None:
+        resolver = make_resolver()
+        result = resolver.resolve("www.b.example")
+        assert result.canonical_host == "b.example"
+        follow_up = resolver.resolve("b.example")
+        assert follow_up.cache_hit
+
+    def test_ttl_expiry(self) -> None:
+        clock = SimulatedClock()
+        resolver = make_resolver(clock=clock, ttl=10.0)
+        resolver.resolve("a.example")
+        clock.advance(11.0)
+        result = resolver.resolve("a.example")
+        assert not result.cache_hit
+        assert resolver.misses == 2
+
+    def test_lru_eviction(self) -> None:
+        resolver = make_resolver(capacity=1)
+        resolver.resolve("a.example")
+        resolver.resolve("b.example")  # evicts a.example
+        assert len(resolver) <= 1
+        result = resolver.resolve("a.example")
+        assert not result.cache_hit
+
+    def test_timeout_fallback_to_other_server(self) -> None:
+        """With one always-timing-out server and one good one, resolution
+        still succeeds (resend to alternative server, paper section 4.2)."""
+        clock = SimulatedClock()
+        zone = make_zone()
+        bad = DnsServer(zone, latency=0.1, timeout_rate=1.0, name="bad")
+        good = DnsServer(zone, latency=0.1, timeout_rate=0.0, name="good")
+        resolver = CachingResolver([bad, good], clock, seed=3)
+        result = resolver.resolve("a.example")
+        assert result.ip == "10.0.0.1"
+
+    def test_all_servers_timeout_raises(self) -> None:
+        resolver = make_resolver(timeout_rate=1.0)
+        with pytest.raises(DNSError):
+            resolver.resolve("a.example")
+        assert resolver.failures == 1
+
+    def test_hit_rate(self) -> None:
+        resolver = make_resolver()
+        assert resolver.hit_rate == 0.0
+        resolver.resolve("a.example")
+        resolver.resolve("a.example")
+        resolver.resolve("a.example")
+        assert resolver.hit_rate == pytest.approx(2 / 3)
+
+    def test_requires_at_least_one_server(self) -> None:
+        with pytest.raises(ValueError):
+            CachingResolver([], SimulatedClock())

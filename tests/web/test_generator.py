@@ -1,0 +1,194 @@
+"""Structural tests for the synthetic Web generator."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.web import (
+    MimeType,
+    PageRole,
+    SyntheticWeb,
+    WebGraphConfig,
+)
+
+
+@pytest.fixture(scope="module")
+def web() -> SyntheticWeb:
+    return SyntheticWeb.generate(
+        WebGraphConfig(
+            seed=13,
+            target_researchers=80,
+            other_researchers=25,
+            universities=20,
+            hubs_per_topic=4,
+            background_hosts_per_category=6,
+            pages_per_background_host=4,
+            directory_pages_per_category=5,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def expert_web() -> SyntheticWeb:
+    return SyntheticWeb.generate_expert(seed=13)
+
+
+class TestPortalWeb:
+    def test_page_ids_are_positional(self, web: SyntheticWeb) -> None:
+        assert all(p.page_id == i for i, p in enumerate(web.pages))
+
+    def test_all_roles_present(self, web: SyntheticWeb) -> None:
+        roles = {p.role for p in web.pages}
+        expected = {
+            PageRole.HOMEPAGE, PageRole.PUBLICATIONS, PageRole.PAPER,
+            PageRole.CV, PageRole.WELCOME, PageRole.HUB,
+            PageRole.BACKGROUND, PageRole.DIRECTORY, PageRole.REGISTRY,
+            PageRole.SEARCH, PageRole.TRAP, PageRole.MEDIA,
+        }
+        assert expected <= roles
+
+    def test_researcher_count(self, web: SyntheticWeb) -> None:
+        counts = Counter(r.topic for r in web.researchers)
+        assert counts["databases"] == 80
+        assert counts["datamining"] == 25
+
+    def test_publication_counts_zipfian(self, web: SyntheticWeb) -> None:
+        registry = web.registry("databases")
+        pubs = [r.publication_count for r in registry.authors]
+        assert pubs[0] == web.config.max_publication_count
+        assert pubs == sorted(pubs, reverse=True)
+        assert pubs[-1] >= web.config.min_publication_count
+
+    def test_out_links_are_valid_page_ids(self, web: SyntheticWeb) -> None:
+        n = web.size
+        for page in web.pages:
+            for target in page.out_links:
+                assert 0 <= target < n
+                assert target != page.page_id
+
+    def test_url_map_covers_all_pages(self, web: SyntheticWeb) -> None:
+        for page in web.pages:
+            assert web.url_map[page.url] == (page.page_id, "canonical")
+
+    def test_aliases_and_copies_registered(self, web: SyntheticWeb) -> None:
+        aliased = [p for p in web.pages if p.aliases]
+        copied = [p for p in web.pages if p.copy_urls]
+        assert aliased, "alias_rate should produce some aliases"
+        assert copied, "copy_rate should produce some copies"
+        for page in aliased:
+            for url in page.aliases:
+                assert web.url_map[url] == (page.page_id, "alias")
+        for page in copied:
+            for url in page.copy_urls:
+                assert web.url_map[url] == (page.page_id, "copy")
+
+    def test_locked_hosts(self, web: SyntheticWeb) -> None:
+        assert web.hosts["dblp.example.org"].locked
+        assert web.hosts["www.google.example.com"].locked
+
+    def test_topical_locality_of_homepage_links(self, web: SyntheticWeb) -> None:
+        """Most homepage->homepage links stay within the topic."""
+        same = cross = 0
+        for researcher in web.researchers:
+            homepage = web.pages[researcher.homepage_page_id]
+            for target_id in homepage.out_links:
+                target = web.pages[target_id]
+                if target.role != PageRole.HOMEPAGE:
+                    continue
+                if target.topic == researcher.topic:
+                    same += 1
+                else:
+                    cross += 1
+        assert same > cross * 2
+
+    def test_welcome_only_homepages_not_linked_by_hubs(self, web) -> None:
+        hidden = {
+            web.researchers[a].homepage_page_id for a in web.welcome_only
+        }
+        for topic, hub_ids in web.hub_page_ids.items():
+            for hub_id in hub_ids:
+                for target in web.pages[hub_id].out_links:
+                    assert target not in hidden
+
+    def test_papers_are_topic_specific_and_often_pdf(self, web) -> None:
+        papers = web.pages_by_role(PageRole.PAPER)
+        assert papers
+        pdf_share = sum(p.mime == MimeType.PDF for p in papers) / len(papers)
+        assert 0.3 < pdf_share < 0.9
+        assert all(p.specificity >= 0.4 for p in papers)
+        homepages = web.pages_by_role(PageRole.HOMEPAGE)
+        mean_paper = sum(p.specificity for p in papers) / len(papers)
+        mean_home = sum(p.specificity for p in homepages) / len(homepages)
+        assert mean_paper > mean_home
+
+    def test_trap_chain_has_overlong_urls(self, web: SyntheticWeb) -> None:
+        traps = web.pages_by_role(PageRole.TRAP)
+        assert traps
+        assert any(len(p.url) > 1000 for p in traps)
+
+    def test_seed_homepages_are_top_publishers(self, web: SyntheticWeb) -> None:
+        seeds = web.seed_homepages(2)
+        registry = web.registry("databases")
+        top2 = {r.homepage_url for r in registry.top_authors(2)}
+        assert set(seeds) == top2
+
+    def test_negative_examples_are_directory_pages(self, web) -> None:
+        pages = web.negative_example_pages(10)
+        assert len(pages) == 10
+        assert all(p.role == PageRole.DIRECTORY for p in pages)
+
+    def test_generation_is_deterministic(self) -> None:
+        config = WebGraphConfig(
+            seed=99, target_researchers=20, other_researchers=5,
+            universities=5, hubs_per_topic=2,
+            background_hosts_per_category=2, pages_per_background_host=2,
+            directory_pages_per_category=2,
+        )
+        a = SyntheticWeb.generate(config)
+        config2 = WebGraphConfig(
+            seed=99, target_researchers=20, other_researchers=5,
+            universities=5, hubs_per_topic=2,
+            background_hosts_per_category=2, pages_per_background_host=2,
+            directory_pages_per_category=2,
+        )
+        b = SyntheticWeb.generate(config2)
+        assert a.size == b.size
+        assert [p.url for p in a.pages] == [p.url for p in b.pages]
+        assert [p.out_links for p in a.pages] == [p.out_links for p in b.pages]
+
+    def test_invalid_config_rejected(self) -> None:
+        with pytest.raises(ConfigError):
+            WebGraphConfig(target_topic="nonexistent").validate()
+
+
+class TestExpertWeb:
+    def test_needles_exist_and_blend_topics(self, expert_web) -> None:
+        assert expert_web.needles
+        for pid in expert_web.needles:
+            page = expert_web.pages[pid]
+            assert page.role == PageRole.NEEDLE
+            assert page.topic == "aries"
+            assert page.secondary_topic == "opensource"
+
+    def test_needles_reachable_from_mohan_hub(self, expert_web) -> None:
+        mohan_id = expert_web.hub_page_ids["aries"][-1]
+        # BFS up to depth 3 from the hub must reach at least one needle.
+        frontier = {mohan_id}
+        seen = set(frontier)
+        for _ in range(3):
+            nxt = set()
+            for pid in frontier:
+                nxt.update(expert_web.pages[pid].out_links)
+            frontier = nxt - seen
+            seen |= nxt
+        assert seen & expert_web.needles
+
+    def test_expert_web_has_aries_papers_haystack(self, expert_web) -> None:
+        aries_papers = [
+            p for p in expert_web.pages_by_role(PageRole.PAPER)
+            if p.topic == "aries"
+        ]
+        assert len(aries_papers) > 10 * len(expert_web.needles) / 2

@@ -1,0 +1,124 @@
+"""Tests for the vocabulary universe and Zipf sampling."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.web.vocab import TopicUniverse, Vocabulary, WordFactory
+
+
+class TestWordFactory:
+    def test_words_are_distinct(self) -> None:
+        factory = WordFactory(np.random.default_rng(0))
+        words = factory.words(500)
+        assert len(set(words)) == 500
+
+    def test_deterministic(self) -> None:
+        a = WordFactory(np.random.default_rng(42)).words(20)
+        b = WordFactory(np.random.default_rng(42)).words(20)
+        assert a == b
+
+    def test_word_shape(self) -> None:
+        factory = WordFactory(np.random.default_rng(1))
+        word = factory.word(syllables=2)
+        assert len(word) == 4
+
+
+class TestVocabulary:
+    def test_empty_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            Vocabulary([])
+
+    def test_zipf_head_dominates(self) -> None:
+        vocabulary = Vocabulary([f"w{i}" for i in range(100)])
+        rng = np.random.default_rng(3)
+        counts = Counter(vocabulary.sample(rng, 20_000))
+        assert counts["w0"] > counts["w10"] > counts.get("w90", 0)
+
+    def test_sample_zero(self) -> None:
+        vocabulary = Vocabulary(["a", "b"])
+        assert vocabulary.sample(np.random.default_rng(0), 0) == []
+
+    def test_contains(self) -> None:
+        vocabulary = Vocabulary(["alpha", "beta"])
+        assert "alpha" in vocabulary
+        assert "gamma" not in vocabulary
+
+
+class TestTopicUniverse:
+    @pytest.fixture(scope="class")
+    def universe(self) -> TopicUniverse:
+        return TopicUniverse(
+            {"databases": "research", "datamining": "research", "sports": "sports"},
+            seed=5,
+        )
+
+    def test_signatures_present(self, universe: TopicUniverse) -> None:
+        spec = universe.spec("databases")
+        assert "database" in spec.signature
+        assert "query" in spec.vocabulary.words
+
+    def test_unknown_topic_raises(self, universe: TopicUniverse) -> None:
+        with pytest.raises(KeyError):
+            universe.spec("nope")
+
+    def test_specificity_controls_topic_share(self, universe: TopicUniverse) -> None:
+        rng = np.random.default_rng(9)
+        spec = universe.spec("databases")
+        vocab = set(spec.vocabulary.words)
+        high = universe.sample_terms(rng, 2000, "databases", specificity=0.7)
+        low = universe.sample_terms(rng, 2000, "databases", specificity=0.1)
+        high_share = sum(t in vocab for t in high) / len(high)
+        low_share = sum(t in vocab for t in low) / len(low)
+        assert high_share > 0.6
+        assert low_share < 0.25
+        assert high_share > low_share
+
+    def test_none_topic_is_pure_background(self, universe: TopicUniverse) -> None:
+        rng = np.random.default_rng(2)
+        terms = universe.sample_terms(rng, 500, None, specificity=0.5)
+        background = set(universe.background.words)
+        assert all(t in background for t in terms)
+
+    def test_sibling_topics_share_jargon_but_not_signatures(
+        self, universe: TopicUniverse
+    ) -> None:
+        a = set(universe.spec("databases").vocabulary.words)
+        b = set(universe.spec("datamining").vocabulary.words)
+        # shared category jargon makes vocabularies overlap partially...
+        overlap = a & b
+        assert overlap
+        assert len(overlap) < min(len(a), len(b))
+        # ...but signature words stay private to their topic
+        assert not set(universe.spec("databases").signature) & b
+        assert not set(universe.spec("datamining").signature) & a
+
+    def test_zero_overlap_configurable(self) -> None:
+        universe = TopicUniverse(
+            {"a": "research", "b": "research"}, seed=1, sibling_overlap=0.0
+        )
+        a = set(universe.spec("a").vocabulary.words)
+        b = set(universe.spec("b").vocabulary.words)
+        assert not (a & b)
+
+    def test_invalid_overlap_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            TopicUniverse({"a": "x"}, sibling_overlap=1.0)
+
+    def test_invalid_specificity_rejected(self, universe: TopicUniverse) -> None:
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            universe.sample_terms(rng, 10, "databases", specificity=1.5)
+
+    def test_category_layer_shared_between_siblings(self, universe) -> None:
+        """Sibling research topics draw from the same category vocabulary."""
+        rng = np.random.default_rng(4)
+        category_vocab = set(universe.categories["research"].words)
+        a = universe.sample_terms(rng, 3000, "databases", 0.3)
+        b = universe.sample_terms(rng, 3000, "datamining", 0.3)
+        a_hits = {t for t in a if t in category_vocab}
+        b_hits = {t for t in b if t in category_vocab}
+        assert a_hits & b_hits  # common category terms appear in both

@@ -1,0 +1,41 @@
+"""Statistical properties of the Zipfian corpus generator."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.web.vocab import Vocabulary
+
+
+class TestZipfShape:
+    def test_rank_frequency_follows_power_law(self) -> None:
+        """Sampled rank-frequency slope approximates the exponent."""
+        exponent = 1.1
+        vocabulary = Vocabulary(
+            [f"w{i}" for i in range(300)], zipf_exponent=exponent
+        )
+        rng = np.random.default_rng(11)
+        counts = Counter(vocabulary.sample(rng, 200_000))
+        # fit log(freq) ~ -s * log(rank) over the head (ranks 1..30)
+        ranks = np.arange(1, 31)
+        freqs = np.array([counts.get(f"w{i}", 1) for i in range(30)])
+        slope, _ = np.polyfit(np.log(ranks), np.log(freqs), 1)
+        assert -slope == pytest.approx(exponent, abs=0.15)
+
+    def test_higher_exponent_concentrates_head(self) -> None:
+        rng = np.random.default_rng(3)
+        flat = Vocabulary([f"w{i}" for i in range(100)], zipf_exponent=0.6)
+        steep = Vocabulary([f"w{i}" for i in range(100)], zipf_exponent=1.6)
+        flat_counts = Counter(flat.sample(rng, 20_000))
+        steep_counts = Counter(steep.sample(rng, 20_000))
+        flat_head = sum(flat_counts.get(f"w{i}", 0) for i in range(5)) / 20_000
+        steep_head = sum(steep_counts.get(f"w{i}", 0) for i in range(5)) / 20_000
+        assert steep_head > flat_head + 0.2
+
+    def test_all_samples_come_from_vocabulary(self) -> None:
+        vocabulary = Vocabulary(["a", "b", "c"])
+        rng = np.random.default_rng(0)
+        assert set(vocabulary.sample(rng, 500)) <= {"a", "b", "c"}
