@@ -25,7 +25,7 @@ from collections.abc import Hashable, Mapping
 from repro.analysis.graph import LinkGraph
 from repro.analysis.hits import HitsResult, _normalize
 
-__all__ = ["bharat_henzinger"]
+__all__ = ["bharat_henzinger", "bharat_henzinger_reference"]
 
 Node = Hashable
 
@@ -61,7 +61,37 @@ def bharat_henzinger(
     max_iterations: int = 50,
     tolerance: float = 1e-8,
 ) -> HitsResult:
-    """Host-weighted, relevance-weighted HITS."""
+    """Host-weighted, relevance-weighted HITS.
+
+    Runs on the CSR matvec kernel (:mod:`repro.perf.csr_hits`), which
+    sits inside the crawler's retraining loop;
+    :func:`bharat_henzinger_reference` keeps the dict formulation the
+    kernel is parity-tested against.
+    """
+    nodes = graph.nodes
+    if not nodes:
+        return HitsResult(converged=True)
+    if relevance is None:
+        relevance = {}
+    rel = {node: float(relevance.get(node, 1.0)) for node in nodes}
+    authority_weight, hub_weight = _edge_weights(graph)
+
+    # imported lazily: repro.perf.csr_hits imports HitsResult's module
+    from repro.perf.csr_hits import bharat_henzinger_csr
+
+    return bharat_henzinger_csr(
+        graph, authority_weight, hub_weight, rel,
+        max_iterations=max_iterations, tolerance=tolerance,
+    )
+
+
+def bharat_henzinger_reference(
+    graph: LinkGraph,
+    relevance: Mapping[Node, float] | None = None,
+    max_iterations: int = 50,
+    tolerance: float = 1e-8,
+) -> HitsResult:
+    """The per-node dict formulation -- reference semantics for the kernel."""
     nodes = graph.nodes
     if not nodes:
         return HitsResult(converged=True)

@@ -48,6 +48,17 @@ class LinkGraph:
     def nodes(self) -> list[Node]:
         return list(self.successors)
 
+    def node_index(self) -> dict[Node, int]:
+        """Stable node -> dense int index (insertion order); the CSR
+        kernels in :mod:`repro.perf.csr_hits` index rows this way."""
+        return {node: i for i, node in enumerate(self.successors)}
+
+    def edges(self) -> Iterable[tuple[Node, Node]]:
+        """All (source, target) pairs, grouped by source in node order."""
+        for source, targets in self.successors.items():
+            for target in targets:
+                yield source, target
+
     def __len__(self) -> int:
         return len(self.successors)
 

@@ -20,7 +20,7 @@ from collections.abc import Hashable
 
 from repro.analysis.graph import LinkGraph
 
-__all__ = ["HitsResult", "hits"]
+__all__ = ["HitsResult", "hits", "hits_reference"]
 
 Node = Hashable
 
@@ -57,7 +57,25 @@ def hits(
     max_iterations: int = 50,
     tolerance: float = 1e-8,
 ) -> HitsResult:
-    """Run HITS to convergence (or ``max_iterations``) on ``graph``."""
+    """Run HITS to convergence (or ``max_iterations``) on ``graph``.
+
+    Delegates to the CSR matvec kernel (:mod:`repro.perf.csr_hits`);
+    :func:`hits_reference` keeps the dict-walking formulation the kernel
+    is parity-tested against.
+    """
+    # imported lazily: repro.perf.csr_hits imports HitsResult from here
+    from repro.perf.csr_hits import hits_csr
+
+    return hits_csr(graph, max_iterations=max_iterations,
+                    tolerance=tolerance)
+
+
+def hits_reference(
+    graph: LinkGraph,
+    max_iterations: int = 50,
+    tolerance: float = 1e-8,
+) -> HitsResult:
+    """The per-node dict formulation -- reference semantics for the kernel."""
     nodes = graph.nodes
     if not nodes:
         return HitsResult(converged=True)

@@ -18,6 +18,7 @@ training documents may be dropped (seed documents can be protected).
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Mapping, Sequence, Set
 from dataclasses import dataclass, field
 
@@ -102,13 +103,18 @@ def select_archetypes(
     for doc_id, _score in authority_candidates:
         sources[doc_id] = "both" if doc_id in sources else "authority"
 
-    # order candidates by confidence, best first
-    ordered = sorted(
+    # Order candidates by confidence, best first.  Only the admitted
+    # prefix is ever consumed: the loop below takes at most ``cap``
+    # candidates plus skips for docs that are already training data, so
+    # a bounded heap selection replaces the full sort (candidate lists
+    # grow with the crawl, the cap does not).
+    bound = cap + len(training_confidences)
+    ordered = heapq.nlargest(
+        bound,
         (
             (document_confidences.get(doc_id, 0.0), doc_id)
             for doc_id in sources
         ),
-        reverse=True,
     )
     decision = ArchetypeDecision(previous_mean=previous_mean)
     for confidence, doc_id in ordered:

@@ -32,6 +32,8 @@ from repro.ml.naive_bayes import NaiveBayesClassifier
 from repro.ml.rocchio import RocchioClassifier
 from repro.ml.svm import LinearSVM
 from repro.ml.xialpha import XiAlphaEstimate, xi_alpha_estimate
+from repro.perf.cache import VectorCache
+from repro.perf.compiled import CompiledClassifier, compile_classifier
 from repro.text.vectorizer import SparseVector, TfIdfVectorizer
 
 __all__ = [
@@ -238,6 +240,11 @@ class HierarchicalClassifier:
         }
         self.models: dict[str, TopicDecisionModel] = {}
         self.trained = False
+        self.model_version = 0
+        """Bumped at every (re)training point; the compiled kernel
+        carries the version it was built from and recompiles on skew."""
+        self._compiled: CompiledClassifier | None = None
+        self._vector_cache = VectorCache(self.config.vector_cache_size)
 
     # -- corpus statistics --------------------------------------------------
 
@@ -254,7 +261,23 @@ class HierarchicalClassifier:
             vectorizer.refresh()
 
     def vectorize(self, doc: TrainingDoc) -> dict[str, SparseVector]:
-        """Per-space tf*idf vectors of a document."""
+        """Per-space tf*idf vectors of a document.
+
+        Repeat vectorizations of the same document object under the
+        same idf snapshot (archetype re-scoring, training-confidence
+        refreshes) come from the LRU cache; ``refresh_idf`` changes the
+        snapshot key and thereby invalidates every cached vector.
+        """
+        return self._vector_cache.get_or_compute(
+            doc, self._snapshot_key(), self._vectorize_uncached
+        )
+
+    def _snapshot_key(self) -> tuple[int, ...]:
+        return tuple(
+            self.vectorizers[space].snapshot_version for space in self.spaces
+        )
+
+    def _vectorize_uncached(self, doc: TrainingDoc) -> dict[str, SparseVector]:
         return {
             space: self.vectorizers[space].vectorize_counts(
                 doc.get(space, Counter())
@@ -292,6 +315,8 @@ class HierarchicalClassifier:
                     child, positives, negatives
                 )
         self.trained = True
+        self.model_version += 1
+        self._compiled = None
 
     def _docs_of_subtree(
         self, training: TrainingSet, topic: str
@@ -371,10 +396,69 @@ class HierarchicalClassifier:
 
     # -- decision phase -------------------------------------------------------
 
+    def _kernel(self) -> CompiledClassifier | None:
+        """The compiled decision kernel, recompiled after retraining.
+
+        Returns None when compiled kernels are disabled in the config;
+        callers then take the reference path.
+        """
+        if not self.config.use_compiled_kernels or not self.trained:
+            return None
+        if (
+            self._compiled is None
+            or self._compiled.model_version != self.model_version
+        ):
+            self._compiled = compile_classifier(self)
+        return self._compiled
+
     def classify(
         self, doc: TrainingDoc, mode: str = "single"
     ) -> ClassificationResult:
         """Top-down classification of a new document.
+
+        Runs on the compiled per-level kernel (one sparse gather +
+        matvec per descent step); :meth:`classify_reference` keeps the
+        per-node dict formulation the kernel is parity-tested against.
+        """
+        if not self.trained:
+            raise TrainingError("classifier has not been trained")
+        kernel = self._kernel()
+        if kernel is None:
+            return self.classify_reference(doc, mode)
+        topic, confidence, path = kernel.classify(
+            self.vectorize(doc), mode, self.config.acceptance_threshold
+        )
+        return ClassificationResult(
+            topic=topic, confidence=confidence, path=path
+        )
+
+    def classify_batch(
+        self, docs: Sequence[TrainingDoc], mode: str = "single"
+    ) -> list[ClassificationResult]:
+        """Classify many documents against one compiled snapshot.
+
+        Compilation (and any pending recompilation after retraining) is
+        paid once for the whole batch -- the amortised path for
+        archetype re-scoring, retraining evaluation and meta-bench.
+        """
+        if not self.trained:
+            raise TrainingError("classifier has not been trained")
+        kernel = self._kernel()
+        if kernel is None:
+            return [self.classify_reference(doc, mode) for doc in docs]
+        threshold = self.config.acceptance_threshold
+        bundles = [self.vectorize(doc) for doc in docs]
+        return [
+            ClassificationResult(topic=topic, confidence=confidence, path=path)
+            for topic, confidence, path in kernel.classify_many(
+                bundles, mode, threshold
+            )
+        ]
+
+    def classify_reference(
+        self, doc: TrainingDoc, mode: str = "single"
+    ) -> ClassificationResult:
+        """Reference decision phase (paper sections 2.4 and 3.5).
 
         Starting at ROOT, all children with trained models vote; the
         document descends into the highest-confidence positive child.
@@ -423,13 +507,33 @@ class HierarchicalClassifier:
         self, doc: TrainingDoc, topic: str, mode: str = "single"
     ) -> float:
         """The (distance) confidence of ``doc`` under ``topic``'s model."""
+        return self.confidence_for_batch([doc], topic, mode)[0]
+
+    def confidence_for_batch(
+        self, docs: Sequence[TrainingDoc], topic: str, mode: str = "single"
+    ) -> list[float]:
+        """Confidences of many documents under one topic's model.
+
+        The batch form of :meth:`confidence_for`: one kernel lookup and
+        one vectorization per document (cache-assisted) instead of a
+        full dict projection per (document, member) pair.
+        """
         model = self.models.get(topic)
         if model is None:
             raise TrainingError(f"no trained model for topic {topic!r}")
-        _positive, confidence = model.decide(
-            self.vectorize(doc), mode, self.config.acceptance_threshold
-        )
-        return confidence
+        kernel = self._kernel()
+        threshold = self.config.acceptance_threshold
+        bundles = [self.vectorize(doc) for doc in docs]
+        if kernel is not None:
+            return [
+                confidence
+                for _positive, confidence in kernel.decide_topic_many(
+                    topic, bundles, mode, threshold
+                )
+            ]
+        return [
+            model.decide(vectors, mode, threshold)[1] for vectors in bundles
+        ]
 
     def estimates(self) -> dict[str, list[tuple[str, XiAlphaEstimate]]]:
         """Per-topic (space, xi-alpha estimate) pairs -- for reporting."""

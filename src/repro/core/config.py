@@ -83,6 +83,15 @@ class BingoConfig:
     Non-SVM learners get a cross-validation generalization estimate in
     place of xi-alpha."""
 
+    # -- kernel layer (repro.perf) ------------------------------------------
+    use_compiled_kernels: bool = True
+    """Classify through the compiled per-level numpy kernels; off falls
+    back to the reference dict-based decision phase everywhere."""
+    vector_cache_size: int = 1024
+    """Documents whose tf*idf vectors are LRU-cached per idf snapshot
+    (archetype re-scoring and retraining evaluation hit this); 0
+    disables the cache."""
+
     # -- retraining / archetypes (paper 3.2) --------------------------------
     retrain_interval: int = 150
     """Retrain after this many successfully classified documents."""
@@ -149,3 +158,5 @@ class BingoConfig:
             raise ConfigError(
                 f"unknown node_classifier {self.node_classifier!r}"
             )
+        if self.vector_cache_size < 0:
+            raise ConfigError("vector_cache_size must be >= 0")

@@ -312,17 +312,24 @@ class FocusedCrawler:
             stats.bad_host_skipped += 1
             return
         actual_url = url.split("#", 1)[0]
-        if not self._host_has_capacity(parsed.host):
-            # Politeness: all slots for this host are busy.  The crawler
-            # thread waits for the earliest one to free up (advancing the
-            # simulated clock), mirroring a blocked connection slot.
+        # Politeness: wait until a host slot AND a domain slot are both
+        # actually free.  A single advance is not enough -- the slot that
+        # opened at the earliest busy-until time may be taken by the same
+        # deadline as another, or freeing the host can still leave the
+        # domain saturated -- so loop until both capacity checks pass
+        # (each check prunes expired slots at the advanced clock).
+        while True:
+            waits = []
+            if not self._host_has_capacity(parsed.host):
+                waits.append(min(host_state.busy_until))
+            if not self._domain_has_capacity(parsed.domain):
+                waits.append(
+                    min(self._domain_state(parsed.domain).busy_until)
+                )
+            if not waits:
+                break
             stats.politeness_defers += 1
-            self.clock.advance_to(min(host_state.busy_until))
-        if not self._domain_has_capacity(parsed.domain):
-            stats.politeness_defers += 1
-            self.clock.advance_to(
-                min(self._domain_state(parsed.domain).busy_until)
-            )
+            self.clock.advance_to(min(waits))
 
         # DNS resolution (usually a cache hit thanks to prefetch)
         try:
@@ -495,12 +502,16 @@ class FocusedCrawler:
             self.loader.add(thread, "terms", {
                 "doc_id": document.doc_id, "term": term, "tf": int(tf),
             })
+        seen_targets: set[str] = set()
         for position, dst in enumerate(document.out_urls):
+            # repeated targets get a position-disambiguated URL; the
+            # seen-set keeps this linear on link-dense hub pages
             self.loader.add(thread, "links", {
                 "src_doc_id": document.doc_id,
-                "dst_url": f"{dst}#{position}" if dst in document.out_urls[:position] else dst,
+                "dst_url": f"{dst}#{position}" if dst in seen_targets else dst,
                 "dst_doc_id": None,
             })
+            seen_targets.add(dst)
         for href, terms in html_doc.anchor_terms.items():
             for term, tf in Counter(terms).items():
                 self.loader.add(thread, "anchor_texts", {

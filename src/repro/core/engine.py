@@ -257,14 +257,17 @@ class BingoEngine:
     def _refresh_training_confidences(self) -> None:
         """Re-score training docs under the new model (paper 2.4: training
         documents get a confidence too, by running them through the
-        trained decision model)."""
+        trained decision model).  Scored through the batch API so the
+        compiled kernel is built once per retraining point."""
         for topic, records in self.training.items():
             if topic.endswith("/OTHERS") or topic not in self.classifier.models:
                 continue
-            for record in records.values():
-                record.confidence = self.classifier.confidence_for(
-                    record.counts, topic
-                )
+            batch = list(records.values())
+            confidences = self.classifier.confidence_for_batch(
+                [record.counts for record in batch], topic
+            )
+            for record, confidence in zip(batch, confidences):
+                record.confidence = confidence
 
     # ------------------------------------------------------------------
     # retraining with archetypes

@@ -197,24 +197,36 @@ def _one_run(
     members.append(_SpaceMember(rocchio, "term"))
     weights.append(0.6)
 
-    def evaluate(predict) -> tuple[float, float, float]:
+    # Batch scoring: every member votes once over the whole test set
+    # (one CSR matvec per SVM member), and each meta mode recombines the
+    # same vote matrix instead of re-running the members per document.
+    decision_matrix = np.vstack([
+        member.inner.decision_batch(
+            [bundle[member.space] for bundle in test_bundles]
+        )
+        for member in members
+    ])
+    votes_matrix = np.where(decision_matrix > 0, 1, -1)
+
+    def evaluate_votes(predictions) -> tuple[float, float, float]:
         counts = BinaryCounts()
-        for vectors, label in zip(test_bundles, test_labels):
-            counts.update(predict(vectors), label)
+        for predicted, label in zip(predictions, test_labels):
+            counts.update(int(predicted), label)
         return counts.precision, counts.recall, counts.abstain_rate
 
     results: dict[str, tuple[float, float, float]] = {}
-    for member in members:
-        results[member.name] = evaluate(member.predict)
-    results["meta: unanimous"] = evaluate(
-        MetaClassifier.unanimous(members).predict
-    )
-    results["meta: majority"] = evaluate(
-        MetaClassifier.majority(members).predict
-    )
-    results["meta: xi-alpha weighted"] = evaluate(
-        MetaClassifier.weighted(members, weights).predict
-    )
+    for row, member in zip(votes_matrix, members):
+        results[member.name] = evaluate_votes(row)
+    metas = {
+        "meta: unanimous": MetaClassifier.unanimous(members),
+        "meta: majority": MetaClassifier.majority(members),
+        "meta: xi-alpha weighted": MetaClassifier.weighted(members, weights),
+    }
+    for name, meta in metas.items():
+        results[name] = evaluate_votes([
+            meta.verdict_from_votes(votes_matrix[:, column]).decision
+            for column in range(votes_matrix.shape[1])
+        ])
     return results
 
 

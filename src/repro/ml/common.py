@@ -89,6 +89,11 @@ class BinaryClassifier:
     def decision(self, vector: SparseVector) -> float:
         raise NotImplementedError
 
+    def decision_batch(self, vectors: Sequence[SparseVector]) -> np.ndarray:
+        """Decisions for many documents; learners with a vectorizable
+        form (e.g. :class:`~repro.ml.svm.LinearSVM`) override this."""
+        return np.array([self.decision(v) for v in vectors])
+
     def predict(self, vector: SparseVector) -> int:
         return 1 if self.decision(vector) > 0 else -1
 

@@ -90,8 +90,11 @@ class MetaClassifier:
 
     # -- decisions --------------------------------------------------------
 
-    def classify(self, vector: SparseVector) -> MetaVerdict:
-        votes = tuple(c.predict(vector) for c in self.classifiers)
+    def verdict_from_votes(self, votes: Sequence[int]) -> MetaVerdict:
+        """Combine precomputed member votes (the batch-scoring path:
+        members vote once per document via ``decision_batch`` and every
+        meta mode reuses the same vote matrix)."""
+        votes = tuple(votes)
         score = sum(w * r for w, r in zip(self.weights, votes))
         if score > self.t1:
             decision = 1
@@ -100,6 +103,11 @@ class MetaClassifier:
         else:
             decision = 0
         return MetaVerdict(decision=decision, score=score, votes=votes)
+
+    def classify(self, vector: SparseVector) -> MetaVerdict:
+        return self.verdict_from_votes(
+            tuple(c.predict(vector) for c in self.classifiers)
+        )
 
     def predict(self, vector: SparseVector) -> int:
         """The meta decision (0 when abstaining)."""

@@ -169,6 +169,45 @@ class LinearSVM(BinaryClassifier):
             total += w[bias_column]
         return total
 
+    def decision_batch(self, vectors: Sequence[SparseVector]) -> np.ndarray:
+        """Vectorized :meth:`decision` over many documents.
+
+        Equivalent to ``[self.decision(v) for v in vectors]`` but gathers
+        every document into one CSR matrix and runs a single matvec.
+        """
+        if self._weights is None:
+            raise TrainingError("classifier is not trained")
+        if not vectors:
+            return np.zeros(0)
+        if self.normalize:
+            vectors = [v.normalized() for v in vectors]
+        X = self.indexer.to_csr(list(vectors))
+        w = self._weights[: X.shape[1]]
+        totals = np.asarray(X @ w).ravel()
+        bias_column = self.indexer._index.get(_BIAS_FEATURE)
+        if bias_column is not None:
+            totals += self._weights[bias_column]
+        return totals
+
+    def export_linear(self) -> tuple[dict[str, float], float, float, bool]:
+        """The trained model as ``(feature -> weight, bias, ||w||, normalize)``.
+
+        This is the contract the compiled-kernel layer
+        (:mod:`repro.perf.compiled`) builds its stacked weight rows from:
+        ``decision(v) = w . normalize(v) + bias`` with the bias *not*
+        scaled by the document norm.
+        """
+        if self._weights is None:
+            raise TrainingError("classifier is not trained")
+        weights = {
+            feature: float(self._weights[column])
+            for feature, column in self.indexer._index.items()
+            if feature != _BIAS_FEATURE
+        }
+        bias_column = self.indexer._index.get(_BIAS_FEATURE)
+        bias = float(self._weights[bias_column]) if bias_column is not None else 0.0
+        return weights, bias, self._weight_norm, self.normalize
+
     def distance(self, vector: SparseVector) -> float:
         """Signed geometric distance from the separating hyperplane.
 

@@ -1,0 +1,31 @@
+"""Vectorized kernels for the crawl hot path.
+
+The paper puts classification (2.4) and link analysis (2.5) *inside*
+the crawl loop, so their per-document cost directly bounds crawl
+throughput.  This package holds the compiled, numpy-backed fast paths;
+the pure-Python implementations in :mod:`repro.core.classifier`,
+:mod:`repro.analysis.hits` and :mod:`repro.analysis.distillation`
+remain the reference semantics that every kernel is parity-tested
+against.
+
+* :mod:`repro.perf.compiled` -- the hierarchical classifier compiled
+  into per-level CSR-style weight blocks (one sparse gather + matvec
+  per descent step instead of per-node dict dot products);
+* :mod:`repro.perf.cache` -- an idf-snapshot-keyed LRU cache so a
+  document is tf*idf-vectorized at most once per snapshot;
+* :mod:`repro.perf.csr_hits` -- HITS / Bharat-Henzinger distillation as
+  alternating sparse matvecs over int-indexed CSR adjacency.
+"""
+
+from repro.perf.cache import VectorCache
+from repro.perf.compiled import CompiledClassifier, compile_classifier
+from repro.perf.csr_hits import CsrAdjacency, bharat_henzinger_csr, hits_csr
+
+__all__ = [
+    "VectorCache",
+    "CompiledClassifier",
+    "compile_classifier",
+    "CsrAdjacency",
+    "hits_csr",
+    "bharat_henzinger_csr",
+]

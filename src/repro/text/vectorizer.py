@@ -101,6 +101,8 @@ class CorpusStatistics:
     document_frequency: Counter = field(default_factory=Counter)
     _snapshot_n: int = 0
     _snapshot_df: dict[str, int] = field(default_factory=dict)
+    _snapshot_version: int = 0
+    _idf_cache: dict[str, float] = field(default_factory=dict)
 
     def add_document(self, terms: Iterable[str]) -> None:
         """Record one document's distinct terms into the live counts."""
@@ -111,10 +113,18 @@ class CorpusStatistics:
         """Promote live counts into the idf snapshot (called at retraining)."""
         self._snapshot_n = self.document_count
         self._snapshot_df = dict(self.document_frequency)
+        self._snapshot_version += 1
+        self._idf_cache = {}
 
     @property
     def snapshot_size(self) -> int:
         return self._snapshot_n
+
+    @property
+    def snapshot_version(self) -> int:
+        """Monotonic idf-snapshot counter; cached vectors are valid only
+        for the version they were computed under."""
+        return self._snapshot_version
 
     def idf(self, term: str) -> float:
         """Log-dampened inverse document frequency from the snapshot.
@@ -127,10 +137,13 @@ class CorpusStatistics:
         n = self._snapshot_n
         if n == 0:
             return 1.0
+        cached = self._idf_cache.get(term)
+        if cached is not None:
+            return cached
         df = self._snapshot_df.get(term, 0)
-        if df == 0:
-            return math.log(1.0 + n)
-        return math.log(1.0 + n / df)
+        value = math.log(1.0 + n) if df == 0 else math.log(1.0 + n / df)
+        self._idf_cache[term] = value
+        return value
 
 
 class TfIdfVectorizer:
@@ -150,6 +163,10 @@ class TfIdfVectorizer:
     def refresh(self) -> None:
         """Recompute the idf snapshot (BINGO! does this on retraining)."""
         self.statistics.refresh()
+
+    @property
+    def snapshot_version(self) -> int:
+        return self.statistics.snapshot_version
 
     def vectorize(self, terms: Iterable[str]) -> SparseVector:
         """Turn a term multiset into a tf*idf vector under the snapshot."""
