@@ -13,6 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
+from repro.robust.breaker import BreakerPolicy
+from repro.robust.faults import FaultWindow
+from repro.robust.retry import RetryPolicy
 from repro.web.model import MimeType
 
 __all__ = ["MimePolicy", "BingoConfig"]
@@ -52,7 +55,55 @@ class BingoConfig:
     max_parallel_per_domain: int = 5
     dns_servers: int = 5
     max_retries: int = 3
-    """Failed fetches per host before it is tagged "bad" and excluded."""
+    """Consecutive failures per host before its circuit breaker opens
+    (the paper's "bad" state) -- and the retry cap per URL."""
+
+    # -- robustness (repro.robust) -----------------------------------------
+    retry_base_delay: float = 4.0
+    """Backoff before a failed URL's first retry (simulated seconds)."""
+    retry_multiplier: float = 2.0
+    retry_max_delay: float = 300.0
+    retry_jitter: float = 0.25
+    """Deterministic per-URL jitter applied to retry delays."""
+    retry_budget: int | None = None
+    """Total retries allowed per crawl phase; None means unbounded."""
+    host_quarantine: float = 600.0
+    """Quarantine interval after a breaker opens (simulated seconds)."""
+    host_quarantine_multiplier: float = 2.0
+    """Quarantine growth per failed probation probe."""
+    host_max_quarantine: float = 7200.0
+    slow_priority_factor: float = 0.5
+    """Priority multiplier for URLs pointing at slow hosts."""
+    slow_host_cooldown: float = 5.0
+    """Extra politeness gap between fetches on a slow host (seconds)."""
+    max_host_deferrals: int = 3
+    """Times a queue entry may be deferred by a quarantined host before
+    it is dropped."""
+    fault_windows: tuple[FaultWindow, ...] = ()
+    """Deterministic fault-injection windows applied to the synthetic
+    Web (burst failures, flaky DNS, host flapping); empty disables the
+    injector."""
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            max_retries=self.max_retries,
+            base_delay=self.retry_base_delay,
+            multiplier=self.retry_multiplier,
+            max_delay=self.retry_max_delay,
+            jitter=self.retry_jitter,
+            budget=self.retry_budget,
+        )
+
+    def breaker_policy(self) -> BreakerPolicy:
+        return BreakerPolicy(
+            open_after=max(self.max_retries, 1),
+            quarantine=self.host_quarantine,
+            quarantine_multiplier=self.host_quarantine_multiplier,
+            max_quarantine=self.host_max_quarantine,
+            slow_priority_factor=self.slow_priority_factor,
+            slow_cooldown=self.slow_host_cooldown,
+            max_deferrals=self.max_host_deferrals,
+        )
 
     # -- focusing (paper 3.3, 5.1) -----------------------------------------
     max_tunnelling_distance: int = 2
@@ -152,6 +203,13 @@ class BingoConfig:
             raise ConfigError("incoming queue must be >= outgoing queue")
         if self.max_retries < 0:
             raise ConfigError("max_retries must be >= 0")
+        try:
+            self.retry_policy().validate()
+            self.breaker_policy().validate()
+            for window in self.fault_windows:
+                window.validate()
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from exc
         if self.node_classifier not in (
             "svm", "maxent", "naive-bayes", "rocchio"
         ):

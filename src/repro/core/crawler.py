@@ -10,9 +10,15 @@ harvesting phase with a soft focus, confidence priorities and tunnelling
 * three-stage duplicate detection (URL hash -> IP+path -> IP+filesize);
 * cached asynchronous DNS with prefetch on frontier refill;
 * MIME-type policies with per-type size caps;
-* host failure management: retries, then "slow", then "bad" (excluded);
+* host failure management via :mod:`repro.robust`: failed fetches are
+  retried with exponential backoff through frontier ``not_before``
+  timestamps, slow hosts get demoted priority and a longer politeness
+  interval, and "bad" hosts are quarantined by a circuit breaker with
+  probation re-probes instead of being excluded forever;
 * politeness: bounded parallel fetches per host and per domain;
-* batched storage through the bulk loader.
+* batched storage through the bulk loader;
+* optional checkpoint/resume (:mod:`repro.robust.checkpoint`) and
+  deterministic fault injection (:mod:`repro.robust.faults`).
 
 Time is simulated: every fetch charges DNS + network + processing time
 to a :class:`~repro.web.clock.WorkerPool` of ``crawler_threads`` workers,
@@ -29,6 +35,13 @@ from repro.core.config import BingoConfig
 from repro.core.dedup import DuplicateDetector
 from repro.core.frontier import CrawlFrontier, QueueEntry
 from repro.errors import DNSError
+from repro.robust.breaker import (
+    ALLOW,
+    DEFER_QUARANTINE,
+    DEFER_SLOW,
+    BreakerBoard,
+)
+from repro.robust.faults import FaultInjector
 from repro.storage.bulkloader import BulkLoader
 from repro.text.features import AnalyzedDocument, FeatureSpace, TermSpace
 from repro.text.handlers import default_registry
@@ -86,6 +99,11 @@ class CrawlStats:
     max_depth: int = 0
     # diagnostics
     fetch_errors: int = 0
+    """Timeouts and 5xx responses (the retryable failures)."""
+    not_found: int = 0
+    """404-style responses (dead links; not retried, not a host fault)."""
+    redirect_loops: int = 0
+    """Fetches abandoned after too many redirect hops."""
     dns_failures: int = 0
     duplicates_skipped: int = 0
     mime_rejected: int = 0
@@ -93,6 +111,12 @@ class CrawlStats:
     url_rejected: int = 0
     locked_skipped: int = 0
     bad_host_skipped: int = 0
+    """URLs dropped because their host's quarantine outlasted the
+    deferral budget."""
+    quarantine_deferred: int = 0
+    """URLs pushed back into the frontier by an open circuit breaker."""
+    slow_deferred: int = 0
+    """URLs pushed back by a slow host's politeness cool-down."""
     politeness_defers: int = 0
     retries: int = 0
     simulated_seconds: float = 0.0
@@ -132,14 +156,6 @@ class CrawledDocument:
     counts: dict[str, Counter]
     out_urls: list[str]
     fetched_at: float
-
-
-@dataclass
-class _HostState:
-    failures: int = 0
-    slow: bool = False
-    bad: bool = False
-    busy_until: list[float] = field(default_factory=list)
 
 
 @dataclass
@@ -187,14 +203,29 @@ class FocusedCrawler:
             outgoing_limit=self.config.outgoing_queue_limit,
             refill_batch=self.config.outgoing_refill_batch,
             prefetch=self._prefetch_dns,
+            now=lambda: self.clock.now,
         )
         self.dedup = DuplicateDetector()
+        self.retry_policy = self.config.retry_policy()
+        self.retry_log: list[dict] = []
+        """Audit trail of scheduled retries: url, attempt, scheduled_at,
+        not_before -- lets tests prove no retry bypassed the backoff."""
         self.documents: list[CrawledDocument] = []
         self._url_to_doc: dict[str, int] = {}
-        self._hosts: dict[str, _HostState] = {}
+        self._hosts = BreakerBoard(self.config.breaker_policy())
         self._domains: dict[str, _DomainState] = {}
         self._docs_since_retrain = 0
         self._log_sequence = 0
+        self.faults: FaultInjector | None = None
+        if self.config.fault_windows:
+            self.faults = FaultInjector(
+                self.config.fault_windows,
+                seed=self.config.seed,
+                clock=self.clock,
+            )
+            self.web.server.faults = self.faults
+            for server in self.resolver.servers:
+                server.faults = self.faults
 
     # ------------------------------------------------------------------
     # frontier helpers
@@ -229,12 +260,9 @@ class FocusedCrawler:
     # host management
     # ------------------------------------------------------------------
 
-    def _host_state(self, host: str) -> _HostState:
-        state = self._hosts.get(host)
-        if state is None:
-            state = _HostState()
-            self._hosts[host] = state
-        return state
+    def _host_state(self, host: str):
+        """The host's circuit breaker (carries the politeness slots)."""
+        return self._hosts.get(host)
 
     def _host_has_capacity(self, host: str) -> bool:
         state = self._host_state(host)
@@ -256,21 +284,88 @@ class FocusedCrawler:
         state.busy_until = [t for t in state.busy_until if t > now]
         return len(state.busy_until) < self.config.max_parallel_per_domain
 
-    def _note_host_failure(self, host: str) -> None:
-        """Tag the host slow; after max_retries failures it becomes bad."""
-        state = self._host_state(host)
-        state.failures += 1
-        state.slow = True
-        if state.failures >= self.config.max_retries:
-            state.bad = True
+    # ------------------------------------------------------------------
+    # retry / deferral scheduling (repro.robust)
+    # ------------------------------------------------------------------
+
+    def _schedule_retry(self, entry: QueueEntry, actual_url: str,
+                        stats: CrawlStats) -> None:
+        """Defer a failed URL back into the frontier with backoff.
+
+        The retry carries a not-before timestamp the frontier respects,
+        so no retry can hit the host before its backoff elapsed.
+        """
+        if not self.retry_policy.allows(entry.attempt, stats.retries):
+            return
+        now = self.clock.now
+        not_before = now + self.retry_policy.delay(
+            entry.attempt, actual_url, seed=self.config.seed
+        )
+        stats.retries += 1
+        self.retry_log.append({
+            "url": actual_url,
+            "attempt": entry.attempt + 1,
+            "scheduled_at": now,
+            "not_before": not_before,
+        })
+        self.frontier.requeue(
+            replace(
+                entry,
+                url=actual_url,
+                attempt=entry.attempt + 1,
+                priority=entry.priority * 0.8,
+                not_before=not_before,
+            )
+        )
+
+    def _defer_entry(self, entry: QueueEntry, breaker, verdict: str,
+                     ready_at: float, stats: CrawlStats) -> None:
+        """Push an entry back because its host is quarantined or cooling
+        down; quarantine deferrals are bounded, slow-host deferrals are
+        not (one entry proceeds per cool-down window, so they drain)."""
+        if verdict == DEFER_QUARANTINE:
+            if entry.deferrals >= breaker.policy.max_deferrals:
+                stats.bad_host_skipped += 1
+                return
+            stats.quarantine_deferred += 1
+            priority = entry.priority
+        else:
+            stats.slow_deferred += 1
+            priority = entry.priority * breaker.policy.slow_priority_factor
+        self.frontier.requeue(
+            replace(
+                entry,
+                priority=priority,
+                not_before=ready_at,
+                deferrals=entry.deferrals + 1,
+            )
+        )
 
     # ------------------------------------------------------------------
     # the crawl loop
     # ------------------------------------------------------------------
 
-    def crawl(self, phase: PhaseSettings) -> CrawlStats:
-        """Run one phase until its budget or the frontier is exhausted."""
-        stats = CrawlStats()
+    def crawl(
+        self,
+        phase: PhaseSettings,
+        resume: CrawlStats | None = None,
+        checkpointer=None,
+    ) -> CrawlStats:
+        """Run one phase until its budget or the frontier is exhausted.
+
+        ``resume`` continues counting into stats restored by
+        :func:`repro.robust.checkpoint.restore_crawler` (fetch budgets
+        are cumulative across the interruption).  ``checkpointer`` is an
+        object with ``on_visit(crawler, stats)`` -- typically a
+        :class:`repro.robust.checkpoint.Checkpointer` -- called after
+        every visit.
+
+        When every remaining URL is deferred (backoff retries, host
+        quarantines), the loop advances the simulated clock to the
+        earliest ready time instead of giving up.
+        """
+        stats = resume if resume is not None else CrawlStats()
+        base_seconds = stats.simulated_seconds
         started_at = self.clock.now
         deadline = (
             started_at + phase.time_budget
@@ -286,10 +381,21 @@ class FocusedCrawler:
                 break
             entry = self.frontier.pop()
             if entry is None:
-                break
+                ready_at = self.frontier.next_ready_at()
+                if ready_at is None:
+                    break
+                if deadline is not None and ready_at >= deadline:
+                    break
+                self.clock.advance_to(ready_at)
+                continue
             self._visit(entry, phase, stats)
+            stats.simulated_seconds = base_seconds + (
+                self.clock.now - started_at
+            )
+            if checkpointer is not None:
+                checkpointer.on_visit(self, stats)
         self.pool.drain()
-        stats.simulated_seconds = self.clock.now - started_at
+        stats.simulated_seconds = base_seconds + (self.clock.now - started_at)
         if self.loader is not None:
             self.loader.flush_all()
         return stats
@@ -308,8 +414,9 @@ class FocusedCrawler:
             stats.locked_skipped += 1
             return
         host_state = self._host_state(parsed.host)
-        if host_state.bad:
-            stats.bad_host_skipped += 1
+        verdict, ready_at = host_state.admit(self.clock.now)
+        if verdict in (DEFER_SLOW, DEFER_QUARANTINE):
+            self._defer_entry(entry, host_state, verdict, ready_at, stats)
             return
         actual_url = url.split("#", 1)[0]
         # Politeness: wait until a host slot AND a domain slot are both
@@ -336,7 +443,8 @@ class FocusedCrawler:
             dns = self.resolver.resolve(parsed.host)
         except DNSError:
             stats.dns_failures += 1
-            self._note_host_failure(parsed.host)
+            host_state.record_failure(self.clock.now)
+            self._schedule_retry(entry, actual_url, stats)
             return
         # duplicate stage 2: IP + path
         if self.dedup.is_known_ip_path(dns.ip, actual_url):
@@ -346,7 +454,8 @@ class FocusedCrawler:
         result = self.web.server.fetch(actual_url)
         duration = dns.latency + result.latency + PROCESSING_COST
         start, end = self.pool.run(duration)
-        self._host_state(parsed.host).busy_until.append(end)
+        host_state.busy_until.append(end)
+        host_state.note_fetch_end(end)
         self._domain_state(parsed.domain).busy_until.append(end)
         stats.visited_urls += 1
         stats.hosts_visited.add(parsed.host)
@@ -355,21 +464,21 @@ class FocusedCrawler:
 
         if result.status in (FetchStatus.TIMEOUT, FetchStatus.HTTP_ERROR):
             stats.fetch_errors += 1
-            self._note_host_failure(parsed.host)
-            if not self._host_state(parsed.host).bad:
-                stats.retries += 1
-                # allow the retry back through duplicate stage 2
-                self.dedup.forget_ip_path(dns.ip, actual_url)
-                self.frontier.push(
-                    QueueEntry(
-                        url=actual_url + f"#retry{self._host_state(parsed.host).failures}",
-                        topic=entry.topic,
-                        priority=entry.priority * 0.8,
-                        depth=entry.depth,
-                        tunnelled=entry.tunnelled,
-                        referrer_doc_id=entry.referrer_doc_id,
-                    )
-                )
+            host_state.record_failure(self.clock.now)
+            # allow the retry back through duplicate stage 2
+            self.dedup.forget_ip_path(dns.ip, actual_url)
+            self._schedule_retry(entry, actual_url, stats)
+            return
+        # the host answered: anything below is not a host fault
+        host_state.record_success(self.clock.now)
+        if result.status == FetchStatus.LOCKED:
+            stats.locked_skipped += 1
+            return
+        if result.status == FetchStatus.NOT_FOUND:
+            stats.not_found += 1
+            return
+        if result.status == FetchStatus.TOO_MANY_REDIRECTS:
+            stats.redirect_loops += 1
             return
         if result.status != FetchStatus.OK:
             stats.fetch_errors += 1
@@ -380,8 +489,9 @@ class FocusedCrawler:
             if self.dedup.register_redirect_target(result.final_url):
                 stats.duplicates_skipped += 1
                 return
-        # duplicate stage 3: IP + filesize
-        if self.dedup.is_known_ip_size(result.ip or "", result.size):
+        # duplicate stage 3: IP + filesize -- only when the server could
+        # attribute an IP; hashing under "" would collapse unrelated hosts
+        if result.ip and self.dedup.is_known_ip_size(result.ip, result.size):
             stats.duplicates_skipped += 1
             return
 
@@ -574,7 +684,8 @@ class FocusedCrawler:
                 QueueEntry(
                     url=url,
                     topic=topic,
-                    priority=priority,
+                    # links into slow hosts enter the queue demoted
+                    priority=priority * self._hosts.priority_factor(parsed.host),
                     depth=depth,
                     tunnelled=tunnelled,
                     referrer_doc_id=document.doc_id,

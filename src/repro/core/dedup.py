@@ -87,6 +87,28 @@ class DuplicateDetector:
         self._ip_sizes.add(key)
         return False
 
+    # -- checkpoint ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable image of all three fingerprint tables."""
+        return {
+            "url_hashes": sorted(self._url_hashes),
+            "ip_paths": sorted(list(pair) for pair in self._ip_paths),
+            "ip_sizes": sorted(list(pair) for pair in self._ip_sizes),
+            "stats": {
+                "checked": self.stats.checked,
+                "url_hash_hits": self.stats.url_hash_hits,
+                "ip_path_hits": self.stats.ip_path_hits,
+                "ip_size_hits": self.stats.ip_size_hits,
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        self._url_hashes = set(state["url_hashes"])
+        self._ip_paths = {(ip, path) for ip, path in state["ip_paths"]}
+        self._ip_sizes = {(ip, size) for ip, size in state["ip_sizes"]}
+        self.stats = DedupStats(**state["stats"])
+
     def register_redirect_target(self, url: str) -> bool:
         """Mark a redirect's final URL as seen; True if it already was.
 

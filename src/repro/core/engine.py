@@ -68,7 +68,19 @@ class CrawlReport:
             merged.hosts_visited |= s.hosts_visited
             merged.max_depth = max(merged.max_depth, s.max_depth)
             merged.fetch_errors += s.fetch_errors
+            merged.not_found += s.not_found
+            merged.redirect_loops += s.redirect_loops
+            merged.dns_failures += s.dns_failures
             merged.duplicates_skipped += s.duplicates_skipped
+            merged.mime_rejected += s.mime_rejected
+            merged.size_rejected += s.size_rejected
+            merged.url_rejected += s.url_rejected
+            merged.locked_skipped += s.locked_skipped
+            merged.bad_host_skipped += s.bad_host_skipped
+            merged.quarantine_deferred += s.quarantine_deferred
+            merged.slow_deferred += s.slow_deferred
+            merged.politeness_defers += s.politeness_defers
+            merged.retries += s.retries
             merged.simulated_seconds += s.simulated_seconds
         return merged
 
@@ -472,11 +484,20 @@ class BingoEngine:
         self,
         time_budget: float | None = None,
         fetch_budget: int | None = None,
+        resume: CrawlStats | None = None,
+        checkpointer=None,
     ) -> PhaseReport:
-        """Soft-focus breadth-first crawl for recall (section 3.3)."""
+        """Soft-focus breadth-first crawl for recall (section 3.3).
+
+        ``resume``/``checkpointer`` are forwarded to
+        :meth:`FocusedCrawler.crawl` for fault-tolerant harvests
+        (:mod:`repro.robust.checkpoint`).  A resumed harvest skips the
+        external-link reseed -- the restored frontier already holds it.
+        """
         if not self._bootstrapped:
             raise CrawlError("run the learning phase (or bootstrap) first")
-        self._reseed_external_links()
+        if resume is None:
+            self._reseed_external_links()
         settings = PhaseSettings(
             name="harvesting",
             focus=SOFT,
@@ -492,7 +513,9 @@ class BingoEngine:
         before_added = self.archetypes_added
         before_removed = self.archetypes_removed
         before_retrain = self.retrainings
-        stats = self.crawler.crawl(settings)
+        stats = self.crawler.crawl(
+            settings, resume=resume, checkpointer=checkpointer
+        )
         return PhaseReport(
             name="harvesting",
             stats=stats,

@@ -10,11 +10,22 @@ candidates."
 
 URLs are prioritised by SVM confidence; tunnelled links decay by a
 constant factor per tunnelling step.  Bounded queues evict their *worst*
-entry on overflow.  A URL is admitted to the frontier at most once.
+entry on overflow.  A URL is admitted to the frontier at most once --
+except through :meth:`CrawlFrontier.requeue`, which re-admits an entry
+the crawler popped but could not fetch (backoff retries, quarantined or
+cooling-down hosts).
+
+Entries may carry a ``not_before`` timestamp: the frontier parks them
+on a deferred heap and only releases them into the topic queues once
+the clock (the ``now`` callable) has caught up.  This is what makes
+retry backoff and host quarantines *scheduling* decisions instead of
+priority hacks -- a deferred URL cannot be popped early no matter how
+good its priority is.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -34,6 +45,29 @@ class QueueEntry:
     tunnelled: int = 0
     """Consecutive link steps taken from a *rejected* document."""
     referrer_doc_id: int | None = None
+    attempt: int = 0
+    """Fetch retries already spent on this URL (0 on first admission)."""
+    not_before: float = 0.0
+    """Earliest simulated time this entry may be popped."""
+    deferrals: int = 0
+    """Times a circuit breaker pushed this entry back into the frontier."""
+
+    def to_dict(self) -> dict:
+        return {
+            "url": self.url,
+            "topic": self.topic,
+            "priority": self.priority,
+            "depth": self.depth,
+            "tunnelled": self.tunnelled,
+            "referrer_doc_id": self.referrer_doc_id,
+            "attempt": self.attempt,
+            "not_before": self.not_before,
+            "deferrals": self.deferrals,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueueEntry":
+        return cls(**data)
 
 
 @dataclass
@@ -43,7 +77,7 @@ class _TopicQueues:
 
 
 class CrawlFrontier:
-    """Bounded, prioritised, DNS-prefetching URL frontier."""
+    """Bounded, prioritised, DNS-prefetching, time-aware URL frontier."""
 
     def __init__(
         self,
@@ -51,23 +85,29 @@ class CrawlFrontier:
         outgoing_limit: int = 1_000,
         refill_batch: int = 50,
         prefetch: Callable[[str], bool] | None = None,
+        now: Callable[[], float] | None = None,
     ) -> None:
         """``prefetch(url) -> bool`` warms the DNS cache for a promising
-        candidate; returning False drops the URL (unresolvable host)."""
+        candidate; returning False drops the URL (unresolvable host).
+        ``now()`` supplies the simulated time that gates deferred
+        entries; without it every entry is considered ready."""
         if incoming_limit < 1 or outgoing_limit < 1 or refill_batch < 1:
             raise ValueError("queue limits and refill batch must be >= 1")
         self.incoming_limit = incoming_limit
         self.outgoing_limit = outgoing_limit
         self.refill_batch = refill_batch
         self.prefetch = prefetch
+        self.now = now or (lambda: float("inf"))
         self._queues: dict[str, _TopicQueues] = {}
         self._seen_urls: set[str] = set()
         self._sequence = 0
+        self._deferred: list[tuple[float, int, QueueEntry]] = []
         # statistics
         self.enqueued = 0
         self.duplicate_drops = 0
         self.evictions = 0
         self.dns_drops = 0
+        self.deferred_total = 0
 
     # -- write side ---------------------------------------------------------
 
@@ -77,17 +117,49 @@ class CrawlFrontier:
             self.duplicate_drops += 1
             return False
         self._seen_urls.add(entry.url)
-        queues = self._queues.setdefault(entry.topic, _TopicQueues())
+        self._admit(entry)
+        self.enqueued += 1
+        return True
+
+    def requeue(self, entry: QueueEntry) -> None:
+        """Re-admit an already-seen entry (retry / breaker deferral).
+
+        Bypasses the seen-set so a URL popped for fetching can come back
+        -- typically with a bumped ``attempt``/``deferrals`` count and a
+        ``not_before`` timestamp the frontier will respect.
+        """
+        self._seen_urls.add(entry.url)
+        self._admit(entry)
+
+    def _admit(self, entry: QueueEntry) -> None:
         self._sequence += 1
+        if entry.not_before > self.now():
+            heapq.heappush(
+                self._deferred, (entry.not_before, self._sequence, entry)
+            )
+            self.deferred_total += 1
+            return
+        queues = self._queues.setdefault(entry.topic, _TopicQueues())
         key = (entry.priority, -self._sequence)
         queues.incoming.insert(key, entry)
-        self.enqueued += 1
         if len(queues.incoming) > self.incoming_limit:
             queues.incoming.pop_min()  # evict the worst candidate
             self.evictions += 1
-        return True
 
     # -- read side -----------------------------------------------------------
+
+    def _release_ready(self) -> None:
+        """Move deferred entries whose time has come into the queues."""
+        now = self.now()
+        while self._deferred and self._deferred[0][0] <= now:
+            _ready_at, _seq, entry = heapq.heappop(self._deferred)
+            queues = self._queues.setdefault(entry.topic, _TopicQueues())
+            self._sequence += 1
+            key = (entry.priority, -self._sequence)
+            queues.incoming.insert(key, entry)
+            if len(queues.incoming) > self.incoming_limit:
+                queues.incoming.pop_min()
+                self.evictions += 1
 
     def _refill(self, queues: _TopicQueues) -> None:
         """Move the best incoming links to outgoing, prefetching DNS."""
@@ -105,7 +177,13 @@ class CrawlFrontier:
             moved += 1
 
     def pop(self) -> QueueEntry | None:
-        """The globally best URL across topics, or None when empty."""
+        """The globally best *ready* URL across topics, or None.
+
+        None can mean "empty" or "everything still deferred" -- check
+        :meth:`next_ready_at` to distinguish (the crawl loop advances
+        the clock there and retries).
+        """
+        self._release_ready()
         best_topic: str | None = None
         best_key = None
         for topic, queues in self._queues.items():
@@ -122,18 +200,27 @@ class CrawlFrontier:
         _key, entry = self._queues[best_topic].outgoing.pop_max()
         return entry
 
+    def next_ready_at(self) -> float | None:
+        """Earliest ``not_before`` among deferred entries, or None."""
+        return self._deferred[0][0] if self._deferred else None
+
     # -- introspection --------------------------------------------------------
 
     def __len__(self) -> int:
-        return sum(
-            len(q.incoming) + len(q.outgoing) for q in self._queues.values()
+        return (
+            sum(
+                len(q.incoming) + len(q.outgoing)
+                for q in self._queues.values()
+            )
+            + len(self._deferred)
         )
 
     def pending_for(self, topic: str) -> int:
         queues = self._queues.get(topic)
+        deferred = sum(1 for _, _, e in self._deferred if e.topic == topic)
         if queues is None:
-            return 0
-        return len(queues.incoming) + len(queues.outgoing)
+            return deferred
+        return len(queues.incoming) + len(queues.outgoing) + deferred
 
     def has_seen(self, url: str) -> bool:
         return url in self._seen_urls
@@ -141,3 +228,63 @@ class CrawlFrontier:
     @property
     def topics(self) -> list[str]:
         return sorted(self._queues)
+
+    # -- checkpoint ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable image of the full frontier state.
+
+        Tree keys are stored verbatim so the restored frontier pops in
+        exactly the original order (priority ties break by sequence).
+        Topic order is preserved too: ``pop`` breaks cross-topic key
+        ties in favour of the first topic registered.
+        """
+        return {
+            "sequence": self._sequence,
+            "enqueued": self.enqueued,
+            "duplicate_drops": self.duplicate_drops,
+            "evictions": self.evictions,
+            "dns_drops": self.dns_drops,
+            "deferred_total": self.deferred_total,
+            "seen_urls": sorted(self._seen_urls),
+            "queues": {
+                topic: {
+                    "incoming": [
+                        [list(key), entry.to_dict()]
+                        for key, entry in queues.incoming.items_in_order()
+                    ],
+                    "outgoing": [
+                        [list(key), entry.to_dict()]
+                        for key, entry in queues.outgoing.items_in_order()
+                    ],
+                }
+                for topic, queues in self._queues.items()
+            },
+            "deferred": [
+                [ready_at, seq, entry.to_dict()]
+                for ready_at, seq, entry in sorted(self._deferred)
+            ],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild the frontier from a :meth:`snapshot` image."""
+        self._sequence = state["sequence"]
+        self.enqueued = state["enqueued"]
+        self.duplicate_drops = state["duplicate_drops"]
+        self.evictions = state["evictions"]
+        self.dns_drops = state["dns_drops"]
+        self.deferred_total = state.get("deferred_total", 0)
+        self._seen_urls = set(state["seen_urls"])
+        self._queues = {}
+        for topic, queues in state["queues"].items():
+            rebuilt = _TopicQueues()
+            for key, entry in queues["incoming"]:
+                rebuilt.incoming.insert(tuple(key), QueueEntry.from_dict(entry))
+            for key, entry in queues["outgoing"]:
+                rebuilt.outgoing.insert(tuple(key), QueueEntry.from_dict(entry))
+            self._queues[topic] = rebuilt
+        self._deferred = [
+            (ready_at, seq, QueueEntry.from_dict(entry))
+            for ready_at, seq, entry in state["deferred"]
+        ]
+        heapq.heapify(self._deferred)

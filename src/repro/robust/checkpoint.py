@@ -1,0 +1,230 @@
+"""Crawl checkpoint/resume through :mod:`repro.storage.persistence`.
+
+A crawl that dies mid-phase used to lose the frontier, the dedup
+fingerprint tables and every host state.  The checkpoint captures the
+complete crawl runtime -- frontier (including deferred retries), dedup
+tables, host circuit breakers, domain politeness slots, the simulated
+clock and worker pool, the DNS cache (with its RNG), the server's
+per-URL attempt counters, the document store and the phase counters --
+so a :class:`~repro.core.crawler.FocusedCrawler` restored into the same
+Web resumes to the *same Table-1 counters* as an uninterrupted run.
+
+What the checkpoint deliberately does **not** capture is the trained
+classifier: models are reconstructed deterministically by re-running the
+same training procedure (the repo is seed-deterministic end to end), so
+serializing SVM internals would only duplicate state.  Resume therefore
+requires the caller to rebuild the crawler with an identically trained
+classifier before calling :func:`restore_crawler`.  If retraining
+happened mid-phase, checkpoint at retraining points (the engine flushes
+its loader there) so the training set is reproducible from the stored
+archetypes.
+
+On-disk layout (all via :func:`repro.storage.persistence.dump_state`
+and :func:`~repro.storage.persistence.dump_database`)::
+
+    <directory>/crawl.json        # versioned runtime state blob
+    <directory>/database/*.jsonl  # relational rows (when a loader is set)
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections import Counter
+
+from repro.storage.persistence import (
+    dump_database,
+    dump_state,
+    load_database,
+    load_state,
+)
+
+__all__ = [
+    "snapshot_crawler",
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_crawler",
+    "Checkpointer",
+]
+
+_KIND = "crawl"
+_DB_SUBDIR = "database"
+
+
+# ----------------------------------------------------------------------
+# stats / document (de)serialization
+# ----------------------------------------------------------------------
+
+def _stats_to_dict(stats) -> dict:
+    data = {
+        field: getattr(stats, field)
+        for field in stats.__dataclass_fields__
+        if field != "hosts_visited"
+    }
+    data["hosts_visited"] = sorted(stats.hosts_visited)
+    return data
+
+
+def _stats_from_dict(data: dict):
+    from repro.core.crawler import CrawlStats
+
+    data = dict(data)
+    hosts = set(data.pop("hosts_visited"))
+    stats = CrawlStats(**data)
+    stats.hosts_visited = hosts
+    return stats
+
+
+def _document_to_dict(doc) -> dict:
+    data = {
+        field: getattr(doc, field)
+        for field in doc.__dataclass_fields__
+        if field != "counts"
+    }
+    data["counts"] = {
+        space: dict(counter) for space, counter in doc.counts.items()
+    }
+    return data
+
+
+def _document_from_dict(data: dict):
+    from repro.core.crawler import CrawledDocument
+
+    data = dict(data)
+    data["counts"] = {
+        space: Counter(counts) for space, counts in data["counts"].items()
+    }
+    return CrawledDocument(**data)
+
+
+# ----------------------------------------------------------------------
+# whole-crawler snapshot
+# ----------------------------------------------------------------------
+
+def snapshot_crawler(crawler, stats) -> dict:
+    """The complete serializable runtime state of one crawl."""
+    server = crawler.web.server
+    return {
+        "clock_now": crawler.clock.now,
+        "pool_free_at": list(crawler.pool._free_at),
+        "resolver": crawler.resolver.snapshot(),
+        "server": {
+            "attempts": dict(server._attempts),
+            "fetch_counts": dict(server.fetch_counts),
+        },
+        "frontier": crawler.frontier.snapshot(),
+        "dedup": crawler.dedup.snapshot(),
+        "hosts": crawler._hosts.to_dict(),
+        "domains": {
+            domain: list(state.busy_until)
+            for domain, state in crawler._domains.items()
+        },
+        "stats": _stats_to_dict(stats),
+        "documents": [_document_to_dict(doc) for doc in crawler.documents],
+        "docs_since_retrain": crawler._docs_since_retrain,
+        "log_sequence": crawler._log_sequence,
+        "converted_formats": dict(crawler.converted_formats),
+        "retry_log": list(crawler.retry_log),
+    }
+
+
+def save_checkpoint(crawler, stats, directory) -> pathlib.Path:
+    """Persist the crawl state (and database rows, if a loader is set)."""
+    directory = pathlib.Path(directory)
+    if crawler.loader is not None:
+        crawler.loader.flush_all()
+        dump_database(crawler.loader.database, directory / _DB_SUBDIR)
+    return dump_state(snapshot_crawler(crawler, stats), directory, kind=_KIND)
+
+
+def load_checkpoint(directory) -> dict:
+    """Read a checkpoint's state blob (without applying it)."""
+    return load_state(directory, kind=_KIND)
+
+
+def restore_crawler(crawler, source, restore_database: bool = True):
+    """Apply a checkpoint to a freshly constructed crawler.
+
+    ``source`` is a checkpoint directory or a state dict from
+    :func:`load_checkpoint`.  The crawler must be bound to the same Web
+    (same generator config and seed) and an identically trained
+    classifier.  Returns the restored :class:`CrawlStats` to pass back
+    into ``crawl(phase, resume=...)``.
+    """
+    import heapq
+
+    from repro.core.crawler import _DomainState
+
+    directory: pathlib.Path | None = None
+    if isinstance(source, (str, pathlib.Path)):
+        directory = pathlib.Path(source)
+        state = load_checkpoint(directory)
+    else:
+        state = source
+
+    crawler.clock.now = state["clock_now"]
+    crawler.pool._free_at = list(state["pool_free_at"])
+    heapq.heapify(crawler.pool._free_at)
+    crawler.resolver.restore(state["resolver"])
+
+    server = crawler.web.server
+    server._attempts = Counter(state["server"]["attempts"])
+    server.fetch_counts = Counter(state["server"]["fetch_counts"])
+
+    crawler.frontier.restore(state["frontier"])
+    crawler.dedup.restore(state["dedup"])
+    crawler._hosts.restore(state["hosts"])
+    crawler._domains = {
+        domain: _DomainState(busy_until=list(busy))
+        for domain, busy in state["domains"].items()
+    }
+    crawler.documents = [_document_from_dict(d) for d in state["documents"]]
+    crawler._url_to_doc = {
+        doc.final_url: doc.doc_id for doc in crawler.documents
+    }
+    crawler._docs_since_retrain = state["docs_since_retrain"]
+    crawler._log_sequence = state["log_sequence"]
+    crawler.converted_formats = Counter(state["converted_formats"])
+    crawler.retry_log = list(state["retry_log"])
+
+    if (
+        restore_database
+        and directory is not None
+        and crawler.loader is not None
+        and (directory / _DB_SUBDIR / "manifest.json").exists()
+    ):
+        dumped = load_database(directory / _DB_SUBDIR, validate=False)
+        for name, relation in dumped.relations.items():
+            rows = relation.scan()
+            if rows:
+                crawler.loader.database.table(name).bulk_insert(rows)
+
+    return _stats_from_dict(state["stats"])
+
+
+class Checkpointer:
+    """Periodic checkpoint hook for :meth:`FocusedCrawler.crawl`.
+
+    Saves every ``every`` visits into ``directory`` (atomically -- a
+    kill during a save leaves the previous checkpoint intact).
+    """
+
+    def __init__(self, directory, every: int = 50) -> None:
+        if every < 1:
+            raise ValueError(f"checkpoint interval must be >= 1, got {every}")
+        self.directory = pathlib.Path(directory)
+        self.every = every
+        self.saves = 0
+        self._since_save = 0
+
+    def on_visit(self, crawler, stats) -> bool:
+        """Called by the crawl loop after each visit; True if it saved."""
+        self._since_save += 1
+        if self._since_save < self.every:
+            return False
+        self.save(crawler, stats)
+        return True
+
+    def save(self, crawler, stats) -> None:
+        save_checkpoint(crawler, stats, self.directory)
+        self.saves += 1
+        self._since_save = 0

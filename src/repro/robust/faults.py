@@ -1,0 +1,140 @@
+"""Deterministic fault injection on the synthetic Web.
+
+Every recovery path of the crawl runtime -- backoff retries, circuit
+breakers, probation probes, multi-server DNS resends -- needs a way to
+be *provoked* on demand.  The injector adds failures the synthetic Web
+would not produce on its own, driven entirely by the simulated clock,
+the configured windows and a seed, so the same configuration always
+fails in exactly the same way:
+
+* **burst failure windows**: between ``start`` and ``end`` (simulated
+  seconds) a deterministic subset of hosts forces timeouts or 5xx
+  responses at a configurable rate;
+* **flaky DNS**: a window of kind ``"dns"`` makes a subset of DNS
+  servers time out for a (server, host)-stable subset of queries;
+* **host flapping**: several windows over the same hosts alternate
+  outage and recovery, exercising quarantine re-probes.
+
+The hooks live on :class:`repro.web.server.SimulatedServer` (attribute
+``faults``) and :class:`repro.web.dns.DnsServer` (same); the crawler
+attaches an injector when ``BingoConfig.fault_windows`` is non-empty.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass
+
+__all__ = ["FaultWindow", "FaultInjector"]
+
+_KINDS = ("timeout", "http_error", "dns")
+
+
+def _unit_roll(*parts: object) -> float:
+    """A stable uniform draw in [0, 1) from the hashed parts."""
+    digest = hashlib.blake2b(
+        "|".join(str(p) for p in parts).encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One failure burst on the simulated timeline."""
+
+    start: float
+    end: float
+    kind: str = "timeout"
+    """``"timeout"``, ``"http_error"`` or ``"dns"``."""
+    rate: float = 1.0
+    """Probability that a covered request fails inside the window."""
+    host_fraction: float = 1.0
+    """Fraction of hosts (or DNS servers) covered, chosen by a stable
+    hash; ignored when ``hosts`` names them explicitly."""
+    hosts: tuple[str, ...] = ()
+    """Explicit host (or DNS server) names this window covers."""
+
+    def validate(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.end <= self.start:
+            raise ValueError("fault window needs start < end")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if not 0.0 < self.host_fraction <= 1.0:
+            raise ValueError("host_fraction must be in (0, 1]")
+
+
+class FaultInjector:
+    """Decides, per request, whether a configured fault fires.
+
+    The injector is stateless apart from hit counters: every decision is
+    a pure function of ``(seed, window, name, discriminators)`` and the
+    clock, which keeps checkpoint/resume byte-identical -- a resumed
+    crawl sees exactly the failures the uninterrupted one saw.
+    """
+
+    def __init__(
+        self, windows, seed: int = 0, clock=None
+    ) -> None:
+        self.windows = tuple(windows)
+        for window in self.windows:
+            window.validate()
+        self.seed = seed
+        self.clock = clock
+        self.injected: Counter = Counter()
+
+    # ------------------------------------------------------------------
+
+    def _active(self, window: FaultWindow) -> bool:
+        if self.clock is None:
+            return False
+        return window.start <= self.clock.now < window.end
+
+    def _covers(self, index: int, window: FaultWindow, name: str) -> bool:
+        if window.hosts:
+            return name in window.hosts
+        if window.host_fraction >= 1.0:
+            return True
+        return _unit_roll(self.seed, index, name, "cover") < window.host_fraction
+
+    # ------------------------------------------------------------------
+
+    def fetch_fault(self, host: str, url: str, attempt: int) -> str | None:
+        """The fault status forced on this fetch attempt, if any."""
+        for index, window in enumerate(self.windows):
+            if window.kind == "dns" or not self._active(window):
+                continue
+            if not self._covers(index, window, host):
+                continue
+            if (
+                window.rate >= 1.0
+                or _unit_roll(self.seed, index, url, attempt, "fire")
+                < window.rate
+            ):
+                self.injected[window.kind] += 1
+                return window.kind
+        return None
+
+    def dns_fault(self, server_name: str, host: str) -> bool:
+        """Should this DNS server time out resolving ``host`` right now?
+
+        The (server, host) pair is rolled once per window, so a covered
+        server consistently fails for the same subset of hostnames while
+        the window is open -- the resolver's resend-to-alternative-server
+        strategy then genuinely decides the outcome.
+        """
+        for index, window in enumerate(self.windows):
+            if window.kind != "dns" or not self._active(window):
+                continue
+            if not self._covers(index, window, server_name):
+                continue
+            if (
+                window.rate >= 1.0
+                or _unit_roll(self.seed, index, server_name, host, "fire")
+                < window.rate
+            ):
+                self.injected["dns"] += 1
+                return True
+        return False

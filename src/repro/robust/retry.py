@@ -1,0 +1,81 @@
+"""Retry policy: exponential backoff with deterministic jitter.
+
+The seed crawler re-pushed failed URLs into the frontier immediately
+(tagged with a synthetic ``#retryN`` fragment), so a timing-out host was
+hammered again within the same politeness window.  Production crawlers
+(BUbiNG, Heritrix) instead *defer* the retry: the URL re-enters the
+frontier with a not-before timestamp computed from an exponential
+backoff schedule, and a retry budget bounds the total effort a phase
+spends on failing fetches.
+
+Jitter is deterministic -- a hash of ``(seed, url, attempt)`` spreads
+retries of different URLs apart without breaking replayability.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+def _unit_roll(*parts: object) -> float:
+    """A stable uniform draw in [0, 1) from the hashed parts."""
+    digest = hashlib.blake2b(
+        "|".join(str(p) for p in parts).encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed fetches are retried (per URL) and budgeted (per phase)."""
+
+    max_retries: int = 3
+    """Retries per URL after the first failed attempt."""
+    base_delay: float = 4.0
+    """Simulated seconds before the first retry."""
+    multiplier: float = 2.0
+    """Exponential growth factor per further attempt."""
+    max_delay: float = 300.0
+    """Backoff ceiling in simulated seconds."""
+    jitter: float = 0.25
+    """Delays are scaled by a deterministic factor in ``1 +/- jitter``."""
+    budget: int | None = None
+    """Total retries allowed per crawl phase; None means unbounded."""
+
+    def validate(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.budget is not None and self.budget < 0:
+            raise ValueError("budget must be >= 0 or None")
+
+    def allows(self, attempt: int, spent: int = 0) -> bool:
+        """May a URL that already failed ``attempt + 1`` times be retried?
+
+        ``attempt`` is the entry's current retry count (0 for a URL on
+        its first pass); ``spent`` is the phase's retry counter checked
+        against the budget.
+        """
+        if attempt >= self.max_retries:
+            return False
+        if self.budget is not None and spent >= self.budget:
+            return False
+        return True
+
+    def delay(self, attempt: int, url: str, seed: int = 0) -> float:
+        """Backoff before retry number ``attempt + 1`` of ``url``."""
+        raw = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        if self.jitter == 0.0:
+            return raw
+        factor = 1.0 + self.jitter * (
+            2.0 * _unit_roll(seed, url, attempt, "retry-jitter") - 1.0
+        )
+        return raw * factor

@@ -16,10 +16,11 @@ import pathlib
 from repro.errors import StorageError
 from repro.storage.database import Database
 
-__all__ = ["dump_database", "load_database"]
+__all__ = ["dump_database", "load_database", "dump_state", "load_state"]
 
 _MANIFEST = "manifest.json"
 _FORMAT_VERSION = 1
+_STATE_FORMAT_VERSION = 1
 
 
 def dump_database(database: Database, directory: str | pathlib.Path) -> int:
@@ -89,3 +90,45 @@ def load_database(
             )
         relation.bulk_insert(rows)
     return database
+
+
+def dump_state(
+    state: dict, directory: str | pathlib.Path, kind: str = "state"
+) -> pathlib.Path:
+    """Write an arbitrary JSON-serializable state blob (versioned).
+
+    Component snapshots that are not relational -- crawl checkpoints,
+    frontier/dedup/host-state dumps -- persist through this so they get
+    the same loud version checking as the database dump format.  The
+    write goes through a temp file + rename so a crash mid-write never
+    leaves a truncated state file behind.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{kind}.json"
+    payload = {
+        "format_version": _STATE_FORMAT_VERSION,
+        "kind": kind,
+        "state": state,
+    }
+    temp = path.with_suffix(".json.tmp")
+    temp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+    temp.replace(path)
+    return path
+
+
+def load_state(directory: str | pathlib.Path, kind: str = "state") -> dict:
+    """Restore a state blob written by :func:`dump_state`."""
+    path = pathlib.Path(directory) / f"{kind}.json"
+    if not path.exists():
+        raise StorageError(f"no {kind!r} state file in {directory}")
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("format_version") != _STATE_FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported state format {payload.get('format_version')!r}"
+        )
+    if payload.get("kind") != kind:
+        raise StorageError(
+            f"state file holds {payload.get('kind')!r}, expected {kind!r}"
+        )
+    return payload["state"]

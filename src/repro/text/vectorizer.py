@@ -85,7 +85,8 @@ def cosine_similarity(a: SparseVector, b: SparseVector) -> float:
     denom = a.norm * b.norm
     if denom == 0.0:
         return 0.0
-    return a.dot(b) / denom
+    # clamp: rounding on near-parallel vectors can push the ratio past 1
+    return max(-1.0, min(1.0, a.dot(b) / denom))
 
 
 @dataclass

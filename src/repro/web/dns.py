@@ -53,9 +53,16 @@ class DnsServer:
     latency: float = 0.15
     timeout_rate: float = 0.0
     name: str = "dns0"
+    faults: "object | None" = None
+    """Optional :class:`repro.robust.faults.FaultInjector` (flaky-DNS
+    windows); attached by the crawler when fault windows are configured."""
 
     def query(self, host: str, rng: np.random.Generator) -> tuple[str, str] | None:
         """Resolve ``host``; raise TimeoutError probabilistically."""
+        if self.faults is not None and self.faults.dns_fault(self.name, host):
+            raise TimeoutError(
+                f"DNS server {self.name} outage (injected) for {host}"
+            )
         if self.timeout_rate > 0 and rng.random() < self.timeout_rate:
             raise TimeoutError(f"DNS server {self.name} timed out for {host}")
         return self.zone.lookup(host)
@@ -164,3 +171,31 @@ class CachingResolver:
 
     def __len__(self) -> int:
         return len(self._cache)
+
+    # -- checkpoint ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable resolver state: cache (in LRU order) + RNG."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "timeouts": self.timeouts,
+            "failures": self.failures,
+            "cache": [
+                [host, entry.canonical_host, entry.ip, entry.expires_at]
+                for host, entry in self._cache.items()
+            ],
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.timeouts = state["timeouts"]
+        self.failures = state["failures"]
+        self._cache = OrderedDict(
+            (host, _CacheEntry(canonical, ip, expires_at))
+            for host, canonical, ip, expires_at in state["cache"]
+        )
+        self._rng = np.random.default_rng(self.seed)
+        self._rng.bit_generator.state = state["rng_state"]

@@ -91,6 +91,9 @@ class SimulatedServer:
         self.bandwidth = bandwidth_bytes_per_second
         self.fetch_counts: Counter = Counter()
         self._attempts: Counter = Counter()
+        self.faults = None
+        """Optional :class:`repro.robust.faults.FaultInjector`; attached
+        by the crawler when fault windows are configured."""
 
     # ------------------------------------------------------------------
 
@@ -144,6 +147,25 @@ class SimulatedServer:
             page = self.pages[page_id]
             self._attempts[current] += 1
             rng = self._roll(current, self._attempts[current])
+            forced = (
+                self.faults.fetch_fault(
+                    host.name, current, self._attempts[current]
+                )
+                if self.faults is not None
+                else None
+            )
+            if forced == "timeout":
+                return FetchResult(
+                    url=url, status=FetchStatus.TIMEOUT, ip=host.ip,
+                    latency=latency + host.mean_latency * 4,
+                    redirect_chain=chain,
+                )
+            if forced == "http_error":
+                return FetchResult(
+                    url=url, status=FetchStatus.HTTP_ERROR, ip=host.ip,
+                    latency=latency + host.mean_latency,
+                    redirect_chain=chain,
+                )
             if host.timeout_rate > 0 and rng.random() < host.timeout_rate:
                 return FetchResult(
                     url=url, status=FetchStatus.TIMEOUT, ip=host.ip,

@@ -107,3 +107,114 @@ class TestDnsPrefetch:
         frontier.pop()
         # one refill moved at most refill_batch URLs
         assert len(warmed) == 2
+
+
+class _Clock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+
+class TestDeferredEntries:
+    def make(self, now: float = 0.0) -> tuple[CrawlFrontier, _Clock]:
+        clock = _Clock(now)
+        return CrawlFrontier(now=lambda: clock.now), clock
+
+    def test_not_before_gates_pop(self) -> None:
+        frontier, clock = self.make()
+        frontier.push(
+            QueueEntry(url="http://a/", topic="t", priority=9.0, depth=0,
+                       not_before=10.0)
+        )
+        assert frontier.pop() is None
+        assert frontier.next_ready_at() == 10.0
+        clock.now = 10.0
+        popped = frontier.pop()
+        assert popped is not None and popped.url == "http://a/"
+        assert frontier.next_ready_at() is None
+
+    def test_high_priority_cannot_jump_the_clock(self) -> None:
+        frontier, clock = self.make()
+        frontier.push(entry("http://low/", priority=0.1))
+        frontier.push(
+            QueueEntry(url="http://hot/", topic="t", priority=99.0, depth=0,
+                       not_before=5.0)
+        )
+        assert frontier.pop().url == "http://low/"
+        assert frontier.pop() is None
+        clock.now = 5.0
+        assert frontier.pop().url == "http://hot/"
+
+    def test_requeue_bypasses_seen_set(self) -> None:
+        frontier, clock = self.make()
+        first = entry("http://a/")
+        assert frontier.push(first)
+        popped = frontier.pop()
+        assert not frontier.push(popped), "push is once-per-URL"
+        frontier.requeue(popped)
+        assert frontier.pop().url == "http://a/"
+
+    def test_len_and_pending_include_deferred(self) -> None:
+        frontier, _clock = self.make()
+        frontier.push(entry("http://a/", topic="t1"))
+        frontier.push(
+            QueueEntry(url="http://b/", topic="t1", priority=1.0, depth=0,
+                       not_before=60.0)
+        )
+        assert len(frontier) == 2
+        assert frontier.pending_for("t1") == 2
+
+    def test_deferred_released_in_ready_order(self) -> None:
+        frontier, clock = self.make()
+        for i, ready in enumerate([30.0, 10.0, 20.0]):
+            frontier.push(
+                QueueEntry(url=f"http://x{i}/", topic="t", priority=1.0,
+                           depth=0, not_before=ready)
+            )
+        clock.now = 15.0
+        assert frontier.pop().url == "http://x1/"
+        assert frontier.pop() is None
+        clock.now = 30.0
+        assert {frontier.pop().url, frontier.pop().url} == {
+            "http://x0/", "http://x2/"
+        }
+
+
+class TestSnapshotRestore:
+    def test_round_trip_preserves_pop_order(self) -> None:
+        clock = _Clock(0.0)
+        frontier = CrawlFrontier(now=lambda: clock.now)
+        for i in range(8):
+            frontier.push(
+                entry(f"http://x{i}/", topic=f"t{i % 2}",
+                      priority=float((i * 5) % 7))
+            )
+        frontier.push(
+            QueueEntry(url="http://later/", topic="t0", priority=50.0,
+                       depth=0, not_before=40.0)
+        )
+        frontier.pop()  # exercise refill/outgoing state before snapshot
+
+        state = frontier.snapshot()
+        restored = CrawlFrontier(now=lambda: clock.now)
+        restored.restore(state)
+        assert len(restored) == len(frontier)
+        assert restored.has_seen("http://x0/")
+
+        order_a, order_b = [], []
+        clock.now = 40.0
+        while (e := frontier.pop()) is not None:
+            order_a.append(e.url)
+        while (e := restored.pop()) is not None:
+            order_b.append(e.url)
+        assert order_a == order_b
+        assert "http://later/" in order_a
+
+    def test_snapshot_is_json_clean(self) -> None:
+        import json
+
+        frontier = CrawlFrontier()
+        frontier.push(entry("http://a/"))
+        blob = json.dumps(frontier.snapshot())
+        restored = CrawlFrontier()
+        restored.restore(json.loads(blob))
+        assert restored.pop().url == "http://a/"

@@ -1,0 +1,71 @@
+"""Unit tests for the exponential-backoff retry policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.robust import RetryPolicy
+
+
+class TestDelay:
+    def test_exponential_growth(self) -> None:
+        policy = RetryPolicy(base_delay=2.0, multiplier=3.0, jitter=0.0)
+        assert policy.delay(0, "http://a/") == 2.0
+        assert policy.delay(1, "http://a/") == 6.0
+        assert policy.delay(2, "http://a/") == 18.0
+
+    def test_delay_capped(self) -> None:
+        policy = RetryPolicy(
+            base_delay=10.0, multiplier=10.0, max_delay=50.0, jitter=0.0
+        )
+        assert policy.delay(5, "http://a/") == 50.0
+
+    def test_jitter_bounded_and_deterministic(self) -> None:
+        policy = RetryPolicy(base_delay=8.0, multiplier=2.0, jitter=0.25)
+        for attempt in range(3):
+            raw = 8.0 * 2.0**attempt
+            d1 = policy.delay(attempt, "http://a/", seed=3)
+            d2 = policy.delay(attempt, "http://a/", seed=3)
+            assert d1 == d2, "same inputs, same delay"
+            assert raw * 0.75 <= d1 <= raw * 1.25
+
+    def test_jitter_varies_across_urls(self) -> None:
+        policy = RetryPolicy(base_delay=8.0, jitter=0.25)
+        delays = {policy.delay(0, f"http://x{i}/") for i in range(20)}
+        assert len(delays) > 1, "different URLs spread apart"
+
+
+class TestAllows:
+    def test_max_retries_respected(self) -> None:
+        policy = RetryPolicy(max_retries=2)
+        assert policy.allows(0)
+        assert policy.allows(1)
+        assert not policy.allows(2)
+
+    def test_budget_respected(self) -> None:
+        policy = RetryPolicy(max_retries=10, budget=3)
+        assert policy.allows(0, spent=2)
+        assert not policy.allows(0, spent=3)
+
+    def test_zero_retries_disables(self) -> None:
+        assert not RetryPolicy(max_retries=0).allows(0)
+
+
+class TestValidate:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_retries=-1),
+            dict(base_delay=-1.0),
+            dict(base_delay=10.0, max_delay=5.0),
+            dict(multiplier=0.5),
+            dict(jitter=1.0),
+            dict(budget=-1),
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs) -> None:
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs).validate()
+
+    def test_defaults_valid(self) -> None:
+        RetryPolicy().validate()
