@@ -1,0 +1,118 @@
+"""Workload builders + timing runners for the staged crawl pipeline.
+
+Produces the machine-readable payload written to
+``benchmarks/results/BENCH_pipeline.json``: end-to-end portal crawl
+pages/sec with per-document commits (``pipeline_batch_size=1``, the
+monolith-equivalent path) vs micro-batched commits (one
+``classify_batch`` call per micro-batch feeding the compiled kernel),
+plus an informational per-stage wall-time breakdown collected through
+the pipeline's ``on_batch`` hooks.
+
+Absolute throughputs vary across machines; the regression check in
+``run_pipeline.py`` therefore compares the *speedup ratio* (per-doc
+time per page / batched time per page), which is machine-independent
+to first order.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.kernel_runner import _crawl_config, _crawl_web
+from repro.core import BingoEngine
+
+__all__ = ["bench_pipeline_crawl", "bench_stage_breakdown", "run_all"]
+
+DEFAULT_BATCH_SIZE = 16
+
+
+def _one_run(
+    web, harvesting_fetch_budget: int, **overrides
+) -> tuple[int, float, BingoEngine]:
+    engine = BingoEngine.for_portal(web, config=_crawl_config(**overrides))
+    start = time.perf_counter()
+    report = engine.run(harvesting_fetch_budget=harvesting_fetch_budget)
+    elapsed = time.perf_counter() - start
+    pages = sum(phase.stats.visited_urls for phase in report.phases)
+    return pages, elapsed, engine
+
+
+def bench_pipeline_crawl(
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    harvesting_fetch_budget: int = 300,
+    seed: int = 7,
+) -> dict:
+    """Full portal run: per-document commits vs micro-batched commits.
+
+    Both sides run with the compiled kernels enabled -- the measured
+    ratio isolates what micro-batching adds on top (amortised kernel
+    dispatch, one vectorize/decide wave per batch) rather than
+    re-measuring the kernels themselves.
+    """
+    web = _crawl_web(seed=seed)
+
+    ref_pages, ref_s, _ = _one_run(
+        web, harvesting_fetch_budget, pipeline_batch_size=1
+    )
+    batched_pages, batched_s, _ = _one_run(
+        web, harvesting_fetch_budget, pipeline_batch_size=batch_size
+    )
+
+    return {
+        "batch_size": batch_size,
+        "pages": batched_pages,
+        "reference_pages": ref_pages,
+        "per_doc_pages_per_s": round(ref_pages / ref_s, 1),
+        "batched_pages_per_s": round(batched_pages / batched_s, 1),
+        "speedup": round(
+            (ref_s / ref_pages) / (batched_s / batched_pages), 2
+        ),
+    }
+
+
+def bench_stage_breakdown(
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    harvesting_fetch_budget: int = 300,
+    seed: int = 7,
+) -> dict:
+    """Per-stage wall-time shares of a batched run (informational).
+
+    Collected via the pipeline's ``on_batch`` hook; not part of the
+    regression gate because shares drift with interpreter and load.
+    """
+    web = _crawl_web(seed=seed)
+    engine = BingoEngine.for_portal(
+        web, config=_crawl_config(pipeline_batch_size=batch_size)
+    )
+    elapsed_by_stage: dict[str, float] = {}
+    batches_by_stage: dict[str, int] = {}
+
+    def record(name: str, n_in: int, n_out: int, elapsed: float) -> None:
+        elapsed_by_stage[name] = elapsed_by_stage.get(name, 0.0) + elapsed
+        batches_by_stage[name] = batches_by_stage.get(name, 0) + 1
+
+    engine.crawler.pipeline.add_hook(record)
+    engine.run(harvesting_fetch_budget=harvesting_fetch_budget)
+
+    total = sum(elapsed_by_stage.values()) or 1.0
+    return {
+        "batch_size": batch_size,
+        "stages": {
+            name: {
+                "batches": batches_by_stage[name],
+                "share": round(elapsed_by_stage[name] / total, 3),
+            }
+            for name in elapsed_by_stage
+        },
+    }
+
+
+def run_all(include_breakdown: bool = True) -> dict:
+    """The full BENCH_pipeline.json payload."""
+    payload = {
+        "schema": 1,
+        "crawl": bench_pipeline_crawl(),
+    }
+    if include_breakdown:
+        payload["stage_breakdown"] = bench_stage_breakdown()
+    return payload

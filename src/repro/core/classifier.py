@@ -255,6 +255,16 @@ class HierarchicalClassifier:
             if counts:
                 vectorizer.ingest(counts.keys())
 
+    def ingest_many(self, docs: "Sequence[TrainingDoc]") -> None:
+        """Feed a document batch into the live df statistics, in order.
+
+        Equivalent to calling :meth:`ingest` per document; ingests only
+        touch the live counters, never the idf *snapshot* that
+        :meth:`vectorize` reads, so classification results are
+        unaffected until the next :meth:`refresh_idf`."""
+        for doc in docs:
+            self.ingest(doc)
+
     def refresh_idf(self) -> None:
         """Promote live df counts to the idf snapshot (lazy, on retraining)."""
         for vectorizer in self.vectorizers.values():

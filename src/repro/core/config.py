@@ -105,6 +105,30 @@ class BingoConfig:
             max_deferrals=self.max_host_deferrals,
         )
 
+    # -- staged pipeline (repro.pipeline) -----------------------------------
+    pipeline_batch_size: int = 1
+    """Micro-batch size drained from the frontier per pipeline round.
+    1 reproduces the historical per-document crawl bit-identically;
+    larger batches amortize classification over the wave-based batch
+    kernel (one ``classify_batch`` call per micro-batch)."""
+    convert_cost: float = 0.0125
+    """Simulated per-document cost of the convert stage (handlers +
+    tokenization), seconds."""
+    analyze_cost: float = 0.0125
+    """Simulated per-document cost of the analyze stage (feature
+    extraction + link resolution), seconds."""
+    classify_cost: float = 0.025
+    """Simulated per-document cost of the classify stage, seconds."""
+
+    @property
+    def processing_cost(self) -> float:
+        """Total simulated per-document analysis cost (seconds).
+
+        The sum of the per-stage costs; the defaults add up to exactly
+        the historical flat ``PROCESSING_COST = 0.05``.
+        """
+        return self.convert_cost + self.analyze_cost + self.classify_cost
+
     # -- focusing (paper 3.3, 5.1) -----------------------------------------
     max_tunnelling_distance: int = 2
     tunnel_priority_decay: float = 0.5
@@ -218,3 +242,8 @@ class BingoConfig:
             )
         if self.vector_cache_size < 0:
             raise ConfigError("vector_cache_size must be >= 0")
+        if self.pipeline_batch_size < 1:
+            raise ConfigError("pipeline_batch_size must be >= 1")
+        for name in ("convert_cost", "analyze_cost", "classify_cost"):
+            if getattr(self, name) < 0.0:
+                raise ConfigError(f"{name} must be >= 0")

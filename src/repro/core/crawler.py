@@ -20,6 +20,14 @@ harvesting phase with a soft focus, confidence priorities and tunnelling
 * optional checkpoint/resume (:mod:`repro.robust.checkpoint`) and
   deterministic fault injection (:mod:`repro.robust.faults`).
 
+Since the staged-pipeline refactor the class is a thin facade: the
+runtime state lives on a :class:`~repro.pipeline.context.CrawlContext`
+and the crawl loop is :class:`~repro.pipeline.driver.CrawlPipeline`,
+which drains micro-batches of ``config.pipeline_batch_size`` entries
+through the named stages admit / fetch / convert / analyze / classify /
+persist / expand.  At batch size 1 (the default) the staged loop is
+bit-identical to the historical per-document monolith.
+
 Time is simulated: every fetch charges DNS + network + processing time
 to a :class:`~repro.web.clock.WorkerPool` of ``crawler_threads`` workers,
 so budgets like "90 minutes" replay deterministically in milliseconds.
@@ -28,28 +36,17 @@ so budgets like "90 minutes" replay deterministically in milliseconds.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.core.classifier import ClassificationResult, HierarchicalClassifier
 from repro.core.config import BingoConfig
-from repro.core.dedup import DuplicateDetector
-from repro.core.frontier import CrawlFrontier, QueueEntry
-from repro.errors import DNSError
-from repro.robust.breaker import (
-    ALLOW,
-    DEFER_QUARANTINE,
-    DEFER_SLOW,
-    BreakerBoard,
-)
-from repro.robust.faults import FaultInjector
+from repro.core.frontier import QueueEntry
+from repro.pipeline.context import CrawlContext, DomainState
+from repro.pipeline.driver import CrawlPipeline
 from repro.storage.bulkloader import BulkLoader
-from repro.text.features import AnalyzedDocument, FeatureSpace, TermSpace
-from repro.text.handlers import default_registry
-from repro.text.tokenizer import tokenize_html
-from repro.web.clock import SimulatedClock, WorkerPool
-from repro.web.dns import CachingResolver, DnsServer
-from repro.web.server import FetchStatus
-from repro.web.urls import is_crawlable_url, join_url, normalize_url, parse_url
+from repro.text.features import FeatureSpace
+from repro.web.clock import SimulatedClock
+from repro.web.urls import normalize_url
 
 __all__ = [
     "PhaseSettings",
@@ -63,8 +60,9 @@ __all__ = [
 SHARP = "sharp"
 SOFT = "soft"
 
-#: simulated per-document analysis cost (parsing + classification), seconds
-PROCESSING_COST = 0.05
+#: legacy alias; checkpoint code historically imported the domain
+#: politeness record from this module
+_DomainState = DomainState
 
 
 @dataclass
@@ -158,13 +156,14 @@ class CrawledDocument:
     fetched_at: float
 
 
-@dataclass
-class _DomainState:
-    busy_until: list[float] = field(default_factory=list)
-
-
 class FocusedCrawler:
-    """Fetches, classifies and stores pages under a phase policy."""
+    """Fetches, classifies and stores pages under a phase policy.
+
+    A facade over :class:`~repro.pipeline.context.CrawlContext` (the
+    runtime state) and :class:`~repro.pipeline.driver.CrawlPipeline`
+    (the staged crawl loop); the delegating members below keep the
+    historical attribute surface intact for callers and tests.
+    """
 
     def __init__(
         self,
@@ -177,55 +176,158 @@ class FocusedCrawler:
         on_document: "callable | None" = None,
         on_retrain: "callable | None" = None,
     ) -> None:
-        self.web = web
-        self.classifier = classifier
-        self.config = config or BingoConfig()
-        self.config.validate()
-        self.clock = clock or SimulatedClock()
-        self.pool = WorkerPool(self.config.crawler_threads, self.clock)
-        self.spaces = spaces or {"term": TermSpace()}
-        self.loader = loader
-        self.on_document = on_document
-        self.on_retrain = on_retrain
-        self.handlers = default_registry()
-        self.converted_formats: Counter = Counter()
+        self.ctx = CrawlContext(
+            web,
+            classifier,
+            config=config,
+            clock=clock,
+            spaces=spaces,
+            loader=loader,
+            on_document=on_document,
+            on_retrain=on_retrain,
+        )
+        self.ctx.owner = self
+        self.pipeline = CrawlPipeline(self.ctx)
 
-        self.resolver = CachingResolver(
-            [
-                DnsServer(self.web.zone, latency=0.15, name=f"dns{i}")
-                for i in range(self.config.dns_servers)
-            ],
-            self.clock,
-            seed=self.config.seed,
-        )
-        self.frontier = CrawlFrontier(
-            incoming_limit=self.config.incoming_queue_limit,
-            outgoing_limit=self.config.outgoing_queue_limit,
-            refill_batch=self.config.outgoing_refill_batch,
-            prefetch=self._prefetch_dns,
-            now=lambda: self.clock.now,
-        )
-        self.dedup = DuplicateDetector()
-        self.retry_policy = self.config.retry_policy()
-        self.retry_log: list[dict] = []
-        """Audit trail of scheduled retries: url, attempt, scheduled_at,
-        not_before -- lets tests prove no retry bypassed the backoff."""
-        self.documents: list[CrawledDocument] = []
-        self._url_to_doc: dict[str, int] = {}
-        self._hosts = BreakerBoard(self.config.breaker_policy())
-        self._domains: dict[str, _DomainState] = {}
-        self._docs_since_retrain = 0
-        self._log_sequence = 0
-        self.faults: FaultInjector | None = None
-        if self.config.fault_windows:
-            self.faults = FaultInjector(
-                self.config.fault_windows,
-                seed=self.config.seed,
-                clock=self.clock,
-            )
-            self.web.server.faults = self.faults
-            for server in self.resolver.servers:
-                server.faults = self.faults
+    # ------------------------------------------------------------------
+    # delegated runtime state (the historical attribute surface)
+    # ------------------------------------------------------------------
+
+    @property
+    def web(self):
+        return self.ctx.web
+
+    @property
+    def classifier(self):
+        return self.ctx.classifier
+
+    @property
+    def config(self):
+        return self.ctx.config
+
+    @property
+    def clock(self):
+        return self.ctx.clock
+
+    @property
+    def pool(self):
+        return self.ctx.pool
+
+    @property
+    def spaces(self):
+        return self.ctx.spaces
+
+    @property
+    def loader(self):
+        return self.ctx.loader
+
+    @loader.setter
+    def loader(self, value) -> None:
+        self.ctx.loader = value
+
+    @property
+    def on_document(self):
+        return self.ctx.on_document
+
+    @on_document.setter
+    def on_document(self, value) -> None:
+        self.ctx.on_document = value
+
+    @property
+    def on_retrain(self):
+        return self.ctx.on_retrain
+
+    @on_retrain.setter
+    def on_retrain(self, value) -> None:
+        self.ctx.on_retrain = value
+
+    @property
+    def handlers(self):
+        return self.ctx.handlers
+
+    @property
+    def converted_formats(self) -> Counter:
+        return self.ctx.converted_formats
+
+    @converted_formats.setter
+    def converted_formats(self, value) -> None:
+        self.ctx.converted_formats = value
+
+    @property
+    def resolver(self):
+        return self.ctx.resolver
+
+    @property
+    def frontier(self):
+        return self.ctx.frontier
+
+    @property
+    def dedup(self):
+        return self.ctx.dedup
+
+    @property
+    def retry_policy(self):
+        return self.ctx.retry_policy
+
+    @property
+    def retry_log(self) -> list[dict]:
+        return self.ctx.retry_log
+
+    @retry_log.setter
+    def retry_log(self, value) -> None:
+        self.ctx.retry_log = value
+
+    @property
+    def documents(self) -> list[CrawledDocument]:
+        return self.ctx.documents
+
+    @documents.setter
+    def documents(self, value) -> None:
+        self.ctx.documents = value
+
+    @property
+    def faults(self):
+        return self.ctx.faults
+
+    @faults.setter
+    def faults(self, value) -> None:
+        self.ctx.faults = value
+
+    @property
+    def _url_to_doc(self) -> dict[str, int]:
+        return self.ctx.url_to_doc
+
+    @_url_to_doc.setter
+    def _url_to_doc(self, value) -> None:
+        self.ctx.url_to_doc = value
+
+    @property
+    def _hosts(self):
+        return self.ctx.hosts
+
+    @property
+    def _domains(self):
+        return self.ctx.domains
+
+    @_domains.setter
+    def _domains(self, value) -> None:
+        self.ctx.domains = value
+
+    @property
+    def _docs_since_retrain(self) -> int:
+        return self.ctx.docs_since_retrain
+
+    @_docs_since_retrain.setter
+    def _docs_since_retrain(self, value: int) -> None:
+        self.ctx.docs_since_retrain = value
+
+    @property
+    def _log_sequence(self) -> int:
+        return self.ctx.log_sequence
+
+    @_log_sequence.setter
+    def _log_sequence(self, value: int) -> None:
+        self.ctx.log_sequence = value
 
     # ------------------------------------------------------------------
     # frontier helpers
@@ -233,14 +335,7 @@ class FocusedCrawler:
 
     def _prefetch_dns(self, url: str) -> bool:
         """Frontier refill hook: warm the DNS cache; False drops the URL."""
-        parsed = parse_url(url)
-        if parsed is None:
-            return False
-        try:
-            self.resolver.resolve(parsed.host)
-        except DNSError:
-            return False
-        return True
+        return self.ctx.prefetch_dns(url)
 
     def seed(self, urls: list[str], topic: str, depth: int = 0,
              priority: float = 1.0) -> None:
@@ -249,7 +344,7 @@ class FocusedCrawler:
             normalized = normalize_url(url)
             if normalized is None:
                 continue
-            self.frontier.push(
+            self.ctx.frontier.push(
                 QueueEntry(
                     url=normalized, topic=topic, priority=priority,
                     depth=depth,
@@ -262,27 +357,16 @@ class FocusedCrawler:
 
     def _host_state(self, host: str):
         """The host's circuit breaker (carries the politeness slots)."""
-        return self._hosts.get(host)
+        return self.ctx.host_state(host)
 
     def _host_has_capacity(self, host: str) -> bool:
-        state = self._host_state(host)
-        now = self.clock.now
-        state.busy_until = [t for t in state.busy_until if t > now]
-        return len(state.busy_until) < self.config.max_parallel_per_host
+        return self.ctx.host_has_capacity(host)
 
-    def _domain_state(self, domain: str) -> _DomainState:
-        state = self._domains.get(domain)
-        if state is None:
-            state = _DomainState()
-            self._domains[domain] = state
-        return state
+    def _domain_state(self, domain: str) -> DomainState:
+        return self.ctx.domain_state(domain)
 
     def _domain_has_capacity(self, domain: str) -> bool:
-        """Politeness cap per registrable domain (paper 5.1: 5 parallel)."""
-        state = self._domain_state(domain)
-        now = self.clock.now
-        state.busy_until = [t for t in state.busy_until if t > now]
-        return len(state.busy_until) < self.config.max_parallel_per_domain
+        return self.ctx.domain_has_capacity(domain)
 
     # ------------------------------------------------------------------
     # retry / deferral scheduling (repro.robust)
@@ -290,56 +374,11 @@ class FocusedCrawler:
 
     def _schedule_retry(self, entry: QueueEntry, actual_url: str,
                         stats: CrawlStats) -> None:
-        """Defer a failed URL back into the frontier with backoff.
-
-        The retry carries a not-before timestamp the frontier respects,
-        so no retry can hit the host before its backoff elapsed.
-        """
-        if not self.retry_policy.allows(entry.attempt, stats.retries):
-            return
-        now = self.clock.now
-        not_before = now + self.retry_policy.delay(
-            entry.attempt, actual_url, seed=self.config.seed
-        )
-        stats.retries += 1
-        self.retry_log.append({
-            "url": actual_url,
-            "attempt": entry.attempt + 1,
-            "scheduled_at": now,
-            "not_before": not_before,
-        })
-        self.frontier.requeue(
-            replace(
-                entry,
-                url=actual_url,
-                attempt=entry.attempt + 1,
-                priority=entry.priority * 0.8,
-                not_before=not_before,
-            )
-        )
+        self.ctx.schedule_retry(entry, actual_url, stats)
 
     def _defer_entry(self, entry: QueueEntry, breaker, verdict: str,
                      ready_at: float, stats: CrawlStats) -> None:
-        """Push an entry back because its host is quarantined or cooling
-        down; quarantine deferrals are bounded, slow-host deferrals are
-        not (one entry proceeds per cool-down window, so they drain)."""
-        if verdict == DEFER_QUARANTINE:
-            if entry.deferrals >= breaker.policy.max_deferrals:
-                stats.bad_host_skipped += 1
-                return
-            stats.quarantine_deferred += 1
-            priority = entry.priority
-        else:
-            stats.slow_deferred += 1
-            priority = entry.priority * breaker.policy.slow_priority_factor
-        self.frontier.requeue(
-            replace(
-                entry,
-                priority=priority,
-                not_before=ready_at,
-                deferrals=entry.deferrals + 1,
-            )
-        )
+        self.ctx.defer_entry(entry, breaker, verdict, ready_at, stats)
 
     # ------------------------------------------------------------------
     # the crawl loop
@@ -364,274 +403,25 @@ class FocusedCrawler:
         quarantines), the loop advances the simulated clock to the
         earliest ready time instead of giving up.
         """
-        stats = resume if resume is not None else CrawlStats()
-        base_seconds = stats.simulated_seconds
-        started_at = self.clock.now
-        deadline = (
-            started_at + phase.time_budget
-            if phase.time_budget is not None
-            else None
+        return self.pipeline.crawl(
+            phase, resume=resume, checkpointer=checkpointer
         )
-        while True:
-            if phase.fetch_budget is not None and (
-                stats.visited_urls >= phase.fetch_budget
-            ):
-                break
-            if deadline is not None and self.clock.now >= deadline:
-                break
-            entry = self.frontier.pop()
-            if entry is None:
-                ready_at = self.frontier.next_ready_at()
-                if ready_at is None:
-                    break
-                if deadline is not None and ready_at >= deadline:
-                    break
-                self.clock.advance_to(ready_at)
-                continue
-            self._visit(entry, phase, stats)
-            stats.simulated_seconds = base_seconds + (
-                self.clock.now - started_at
-            )
-            if checkpointer is not None:
-                checkpointer.on_visit(self, stats)
-        self.pool.drain()
-        stats.simulated_seconds = base_seconds + (self.clock.now - started_at)
-        if self.loader is not None:
-            self.loader.flush_all()
-        return stats
-
-    # ------------------------------------------------------------------
 
     def _visit(self, entry: QueueEntry, phase: PhaseSettings,
                stats: CrawlStats) -> None:
-        url = entry.url
-        if not is_crawlable_url(url):
-            stats.url_rejected += 1
-            return
-        parsed = parse_url(url)
-        assert parsed is not None  # is_crawlable_url guarantees it
-        if parsed.domain in self.config.locked_domains:
-            stats.locked_skipped += 1
-            return
-        host_state = self._host_state(parsed.host)
-        verdict, ready_at = host_state.admit(self.clock.now)
-        if verdict in (DEFER_SLOW, DEFER_QUARANTINE):
-            self._defer_entry(entry, host_state, verdict, ready_at, stats)
-            return
-        actual_url = url.split("#", 1)[0]
-        # Politeness: wait until a host slot AND a domain slot are both
-        # actually free.  A single advance is not enough -- the slot that
-        # opened at the earliest busy-until time may be taken by the same
-        # deadline as another, or freeing the host can still leave the
-        # domain saturated -- so loop until both capacity checks pass
-        # (each check prunes expired slots at the advanced clock).
-        while True:
-            waits = []
-            if not self._host_has_capacity(parsed.host):
-                waits.append(min(host_state.busy_until))
-            if not self._domain_has_capacity(parsed.domain):
-                waits.append(
-                    min(self._domain_state(parsed.domain).busy_until)
-                )
-            if not waits:
-                break
-            stats.politeness_defers += 1
-            self.clock.advance_to(min(waits))
-
-        # DNS resolution (usually a cache hit thanks to prefetch)
-        try:
-            dns = self.resolver.resolve(parsed.host)
-        except DNSError:
-            stats.dns_failures += 1
-            host_state.record_failure(self.clock.now)
-            self._schedule_retry(entry, actual_url, stats)
-            return
-        # duplicate stage 2: IP + path
-        if self.dedup.is_known_ip_path(dns.ip, actual_url):
-            stats.duplicates_skipped += 1
-            return
-
-        result = self.web.server.fetch(actual_url)
-        duration = dns.latency + result.latency + PROCESSING_COST
-        start, end = self.pool.run(duration)
-        host_state.busy_until.append(end)
-        host_state.note_fetch_end(end)
-        self._domain_state(parsed.domain).busy_until.append(end)
-        stats.visited_urls += 1
-        stats.hosts_visited.add(parsed.host)
-        stats.max_depth = max(stats.max_depth, entry.depth)
-        self._log_fetch(actual_url, result.status, result.latency)
-
-        if result.status in (FetchStatus.TIMEOUT, FetchStatus.HTTP_ERROR):
-            stats.fetch_errors += 1
-            host_state.record_failure(self.clock.now)
-            # allow the retry back through duplicate stage 2
-            self.dedup.forget_ip_path(dns.ip, actual_url)
-            self._schedule_retry(entry, actual_url, stats)
-            return
-        # the host answered: anything below is not a host fault
-        host_state.record_success(self.clock.now)
-        if result.status == FetchStatus.LOCKED:
-            stats.locked_skipped += 1
-            return
-        if result.status == FetchStatus.NOT_FOUND:
-            stats.not_found += 1
-            return
-        if result.status == FetchStatus.TOO_MANY_REDIRECTS:
-            stats.redirect_loops += 1
-            return
-        if result.status != FetchStatus.OK:
-            stats.fetch_errors += 1
-            return
-
-        # redirects: register the chain, dedup the final URL (stage 1)
-        if result.redirect_chain and result.final_url != actual_url:
-            if self.dedup.register_redirect_target(result.final_url):
-                stats.duplicates_skipped += 1
-                return
-        # duplicate stage 3: IP + filesize -- only when the server could
-        # attribute an IP; hashing under "" would collapse unrelated hosts
-        if result.ip and self.dedup.is_known_ip_size(result.ip, result.size):
-            stats.duplicates_skipped += 1
-            return
-
-        # document-type management
-        policy = self.config.mime_policies.get(result.mime or "")
-        if policy is None or not policy.handled or result.html is None:
-            stats.mime_rejected += 1
-            return
-        if result.size > policy.max_size:
-            stats.size_rejected += 1
-            return
-
-        if entry.url != actual_url:
-            entry = replace(entry, url=actual_url)
-        self._process_document(entry, result, phase, stats)
+        """Process one frontier entry end to end (the historical
+        per-document entry point; drives the stages at batch size 1)."""
+        self.pipeline.visit_one(entry, phase, stats)
 
     # ------------------------------------------------------------------
-
-    def _process_document(self, entry, result, phase, stats) -> None:
-        # content handlers convert recognised formats to HTML (paper 2.2)
-        converted = self.handlers.convert(result.html, result.mime)
-        if converted is None:
-            stats.mime_rejected += 1
-            return
-        self.converted_formats[converted.source_format] += 1
-        html_doc = tokenize_html(converted.html)
-        analyzed = AnalyzedDocument(tokens=html_doc.tokens)
-        counts = {
-            name: space.extract(analyzed) for name, space in self.spaces.items()
-        }
-        self.classifier.ingest(counts)
-        classification = self.classifier.classify(
-            counts, mode=phase.decision_mode
-        )
-
-        resolved_links: list[str] = []
-        base = result.final_url or entry.url
-        for href in html_doc.links:
-            absolute = join_url(base, href)
-            if absolute is not None and is_crawlable_url(absolute):
-                resolved_links.append(absolute)
-        stats.extracted_links += len(resolved_links)
-
-        doc_id = len(self.documents)
-        document = CrawledDocument(
-            doc_id=doc_id,
-            url=entry.url,
-            final_url=result.final_url or entry.url,
-            page_id=result.page_id,
-            host=parse_url(entry.url).host,
-            ip=result.ip or "",
-            mime=result.mime or "",
-            size=result.size,
-            title=html_doc.title,
-            depth=entry.depth,
-            topic=classification.topic,
-            confidence=classification.confidence,
-            counts=counts,
-            out_urls=resolved_links,
-            fetched_at=self.clock.now,
-        )
-        self.documents.append(document)
-        self._url_to_doc[document.final_url] = doc_id
-        stats.stored_pages += 1
-        self._store_rows(document, html_doc)
-
-        accepted = classification.accepted
-        if accepted:
-            stats.positively_classified += 1
-        self._enqueue_links(entry, document, classification, phase)
-
-        if self.on_document is not None:
-            self.on_document(document, classification)
-        if accepted:
-            self._docs_since_retrain += 1
-            if (
-                self.on_retrain is not None
-                and self._docs_since_retrain >= self.config.retrain_interval
-            ):
-                self._docs_since_retrain = 0
-                self.on_retrain()
+    # storage / link expansion compat hooks
+    # ------------------------------------------------------------------
 
     def _log_fetch(self, url: str, status: str, latency: float) -> None:
-        if self.loader is None:
-            return
-        self._log_sequence += 1
-        self.loader.add(
-            self._log_sequence % self.config.crawler_threads,
-            "crawl_log",
-            {
-                "seq": self._log_sequence,
-                "url": url,
-                "status": status,
-                "latency": float(latency),
-                "at": self.clock.now,
-            },
-        )
+        self.ctx.log_fetch(url, status, latency)
 
     def _store_rows(self, document: CrawledDocument, html_doc) -> None:
-        if self.loader is None:
-            return
-        thread = document.doc_id % self.config.crawler_threads
-        self.loader.add(thread, "documents", {
-            "doc_id": document.doc_id,
-            "url": document.url,
-            "host": document.host,
-            "mime": document.mime,
-            "size": document.size,
-            "title": document.title,
-            "topic": document.topic,
-            "confidence": document.confidence,
-            "crawl_depth": document.depth,
-            "fetched_at": document.fetched_at,
-            "page_id": document.page_id,
-        })
-        term_counts = document.counts.get("term", Counter())
-        for term, tf in term_counts.items():
-            self.loader.add(thread, "terms", {
-                "doc_id": document.doc_id, "term": term, "tf": int(tf),
-            })
-        seen_targets: set[str] = set()
-        for position, dst in enumerate(document.out_urls):
-            # repeated targets get a position-disambiguated URL; the
-            # seen-set keeps this linear on link-dense hub pages
-            self.loader.add(thread, "links", {
-                "src_doc_id": document.doc_id,
-                "dst_url": f"{dst}#{position}" if dst in seen_targets else dst,
-                "dst_doc_id": None,
-            })
-            seen_targets.add(dst)
-        for href, terms in html_doc.anchor_terms.items():
-            for term, tf in Counter(terms).items():
-                self.loader.add(thread, "anchor_texts", {
-                    "src_doc_id": document.doc_id,
-                    "dst_url": href,
-                    "term": term,
-                    "tf": int(tf),
-                })
-
-    # ------------------------------------------------------------------
+        self.pipeline.persist._store_rows(self.ctx, document, html_doc)
 
     def _enqueue_links(
         self,
@@ -640,60 +430,11 @@ class FocusedCrawler:
         classification: ClassificationResult,
         phase: PhaseSettings,
     ) -> None:
-        accepted = classification.accepted
-        topic = classification.topic
-        if accepted:
-            if phase.focus == SHARP and topic != entry.topic:
-                # sharp focus: only links whose source stayed in the
-                # queue's class are followed (class(p) == class(q)).
-                follow = False
-            else:
-                follow = True
-            tunnelled = 0
-        else:
-            follow = phase.tunnelling and (
-                entry.tunnelled < self.config.max_tunnelling_distance
-            )
-            tunnelled = entry.tunnelled + 1
-            topic = entry.topic  # tunnelled links stay in the source queue
-        if not follow:
-            return
-        depth = entry.depth + 1
-        if phase.max_depth is not None and depth > phase.max_depth:
-            return
-        if phase.depth_first:
-            priority = float(depth)
-        else:
-            priority = max(classification.confidence, 0.0)
-        if tunnelled:
-            priority *= self.config.tunnel_priority_decay ** tunnelled
-        for url in document.out_urls:
-            parsed = parse_url(url)
-            if parsed is None:
-                continue
-            if parsed.domain in self.config.locked_domains:
-                continue
-            if (
-                phase.allowed_domains is not None
-                and parsed.domain not in phase.allowed_domains
-            ):
-                continue
-            if self.dedup.is_known_url(url):
-                continue
-            self.frontier.push(
-                QueueEntry(
-                    url=url,
-                    topic=topic,
-                    # links into slow hosts enter the queue demoted
-                    priority=priority * self._hosts.priority_factor(parsed.host),
-                    depth=depth,
-                    tunnelled=tunnelled,
-                    referrer_doc_id=document.doc_id,
-                )
-            )
+        self.pipeline.expand.enqueue_links(
+            self.ctx, entry, document, classification, phase
+        )
 
     # ------------------------------------------------------------------
 
     def document_by_url(self, url: str) -> CrawledDocument | None:
-        doc_id = self._url_to_doc.get(url)
-        return self.documents[doc_id] if doc_id is not None else None
+        return self.ctx.document_by_url(url)

@@ -151,6 +151,10 @@ class BingoEngine:
             loader=self.loader,
             on_retrain=self._retrain,
         )
+        self.ctx = self.crawler.ctx
+        """The crawl's service container (clock, frontier, dedup, host
+        breakers, document store, ...); the engine reads runtime state
+        from here, the crawler facade only drives phases."""
         self.training: dict[str, dict[str, _TrainingRecord]] = {}
         self.retrainings = 0
         self.archetypes_added = 0
@@ -287,13 +291,13 @@ class BingoEngine:
 
     def _topic_documents(self, topic: str) -> list[CrawledDocument]:
         return [
-            doc for doc in self.crawler.documents if doc.topic == topic
+            doc for doc in self.ctx.documents if doc.topic == topic
         ]
 
     def _link_graph_for(self, docs: list[CrawledDocument]) -> LinkGraph:
         """Base set + successors/predecessors graph over crawled docs."""
         graph = LinkGraph()
-        url_to_doc = {doc.final_url: doc for doc in self.crawler.documents}
+        url_to_doc = {doc.final_url: doc for doc in self.ctx.documents}
         base_ids = {doc.doc_id for doc in docs}
         members = set(base_ids)
         # successors: out-links resolving to crawled documents
@@ -304,16 +308,16 @@ class BingoEngine:
                     members.add(target.doc_id)
         # predecessors: crawled documents linking into the base set
         base_urls = {doc.final_url for doc in docs}
-        for doc in self.crawler.documents:
+        for doc in self.ctx.documents:
             if doc.doc_id in members:
                 continue
             if any(url in base_urls for url in doc.out_urls):
                 members.add(doc.doc_id)
         for doc_id in members:
-            doc = self.crawler.documents[doc_id]
+            doc = self.ctx.documents[doc_id]
             graph.add_node(doc_id, host=doc.host)
         for doc_id in members:
-            doc = self.crawler.documents[doc_id]
+            doc = self.ctx.documents[doc_id]
             for url in doc.out_urls:
                 target = url_to_doc.get(url)
                 if target is not None and target.doc_id in members:
@@ -332,7 +336,7 @@ class BingoEngine:
             graph = self._link_graph_for(docs)
             relevance = {
                 doc.doc_id: max(doc.confidence, 0.0) + 0.05
-                for doc in self.crawler.documents
+                for doc in self.ctx.documents
                 if doc.doc_id in graph.successors
             }
             analysis = bharat_henzinger(graph, relevance=relevance)
@@ -362,7 +366,7 @@ class BingoEngine:
                 if record.protected
             }
             document_confidences = {
-                doc.doc_id: doc.confidence for doc in self.crawler.documents
+                doc.doc_id: doc.confidence for doc in self.ctx.documents
             }
             enforce = (
                 self.config.enforce_archetype_threshold
@@ -380,7 +384,7 @@ class BingoEngine:
                 cap_by_min=enforce,
             )
             for doc_id, confidence, source in decision.added:
-                doc = self.crawler.documents[doc_id]
+                doc = self.ctx.documents[doc_id]
                 existing = records.get(doc.final_url)
                 records[doc.final_url] = _TrainingRecord(
                     counts=doc.counts, confidence=confidence,
@@ -412,17 +416,17 @@ class BingoEngine:
     def _enqueue_hub_links(self, topic: str, analysis) -> None:
         allowed = self._active_allowed_domains
         for doc_id, score in analysis.top_hubs(self.config.top_hubs):
-            doc = self.crawler.documents[doc_id]
+            doc = self.ctx.documents[doc_id]
             for url in doc.out_urls:
                 if allowed is not None:
                     parsed = parse_url(url)
                     if parsed is None or parsed.domain not in allowed:
                         continue
-                if self.crawler.document_by_url(url) is not None:
+                if self.ctx.document_by_url(url) is not None:
                     continue
-                if self.crawler.dedup.is_known_url(url):
+                if self.ctx.dedup.is_known_url(url):
                     continue
-                self.crawler.frontier.push(
+                self.ctx.frontier.push(
                     QueueEntry(
                         url=url, topic=topic,
                         priority=10.0 + score,  # high-priority end
@@ -527,15 +531,15 @@ class BingoEngine:
     def _reseed_external_links(self) -> None:
         """Re-enqueue stored documents' links dropped by the learning
         phase's domain restriction (the harvest has no such restriction)."""
-        for doc in self.crawler.documents:
+        for doc in self.ctx.documents:
             if not doc.topic.endswith("/OTHERS"):
                 priority = max(doc.confidence, 0.0)
                 for url in doc.out_urls:
-                    if self.crawler.frontier.has_seen(url):
+                    if self.ctx.frontier.has_seen(url):
                         continue
-                    if self.crawler.dedup.is_known_url(url):
+                    if self.ctx.dedup.is_known_url(url):
                         continue
-                    self.crawler.frontier.push(
+                    self.ctx.frontier.push(
                         QueueEntry(
                             url=url, topic=doc.topic, priority=priority,
                             depth=doc.depth + 1, referrer_doc_id=doc.doc_id,
@@ -567,7 +571,7 @@ class BingoEngine:
                 continue
             records = self.training.get(topic, {})
             promoted = [
-                self.crawler.documents[record.doc_id]
+                self.ctx.documents[record.doc_id]
                 for record in records.values()
                 if record.doc_id is not None
             ]
@@ -628,7 +632,7 @@ class BingoEngine:
 
     def ranked_results(self, topic: str) -> list[CrawledDocument]:
         """Crawled documents of ``topic`` by descending SVM confidence."""
-        docs = [doc for doc in self.crawler.documents if doc.topic == topic]
+        docs = [doc for doc in self.ctx.documents if doc.topic == topic]
         return sorted(docs, key=lambda d: (-d.confidence, d.doc_id))
 
     def ranked_result_urls(self, topic: str) -> list[str]:

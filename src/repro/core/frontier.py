@@ -225,6 +225,18 @@ class CrawlFrontier:
     def has_seen(self, url: str) -> bool:
         return url in self._seen_urls
 
+    def counters(self) -> dict[str, int]:
+        """The frontier's admission statistics as one dict (for logs,
+        benchmarks and parity assertions)."""
+        return {
+            "size": len(self),
+            "enqueued": self.enqueued,
+            "duplicate_drops": self.duplicate_drops,
+            "evictions": self.evictions,
+            "dns_drops": self.dns_drops,
+            "deferred_total": self.deferred_total,
+        }
+
     @property
     def topics(self) -> list[str]:
         return sorted(self._queues)

@@ -387,12 +387,14 @@ def _archetype_one_seed(
                 + list(pool_rng.choice(sibling_pages[60:], 60, replace=False))
                 + list(pool_rng.choice(background_pages, 20, replace=False))
             )
-            candidates = []
-            for page in pool:
-                doc = doc_of(page)
-                result = classifier.classify(doc)
-                if result.accepted:
-                    candidates.append((page, doc, result.confidence))
+            # score the whole candidate pool in one batch descent
+            pool_docs = [doc_of(page) for page in pool]
+            pool_results = classifier.classify_batch(pool_docs)
+            candidates = [
+                (page, doc, result.confidence)
+                for page, doc, result in zip(pool, pool_docs, pool_results)
+                if result.accepted
+            ]
             candidates.sort(key=lambda t: -t[2])
             confidence_candidates = [
                 (page.page_id, conf) for page, _doc, conf in candidates

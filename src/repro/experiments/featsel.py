@@ -239,16 +239,16 @@ def run_budget_selection_experiment(
         return classifier
 
     def accuracy(classifier) -> float:
-        correct = 0
-        total = 0
-        for doc in pos_docs[train_per_class:]:
-            total += 1
-            if classifier.classify(doc).accepted:
-                correct += 1
-        for doc in neg_docs[train_per_class:]:
-            total += 1
-            if not classifier.classify(doc).accepted:
-                correct += 1
+        # one batch call per held-out side: the kernel is built once and
+        # the wave-based descent scores the whole evaluation set together
+        pos_held = pos_docs[train_per_class:]
+        neg_held = neg_docs[train_per_class:]
+        correct = sum(
+            1 for r in classifier.classify_batch(pos_held) if r.accepted
+        ) + sum(
+            1 for r in classifier.classify_batch(neg_held) if not r.accepted
+        )
+        total = len(pos_held) + len(neg_held)
         return correct / total if total else 0.0
 
     rows: list[tuple[str, int, float]] = []

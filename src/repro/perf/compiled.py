@@ -361,6 +361,11 @@ class CompiledClassifier:
             for parent, level in levels.items()
             for child in level.children
         }
+        # call accounting: proves which descent path (per-document vs
+        # wave-based batch) a caller actually exercised
+        self.single_calls = 0
+        self.batch_calls = 0
+        self.batch_docs = 0
 
     def classify(
         self,
@@ -372,6 +377,7 @@ class CompiledClassifier:
         """Top-down descent, mirroring the reference ``classify`` exactly."""
         if mode not in MODES:
             raise TrainingError(f"unknown decision mode {mode!r}")
+        self.single_calls += 1
         current = root
         path: list[tuple[str, float]] = []
         confidence = 0.0
@@ -406,6 +412,8 @@ class CompiledClassifier:
         """
         if mode not in MODES:
             raise TrainingError(f"unknown decision mode {mode!r}")
+        self.batch_calls += 1
+        self.batch_docs += len(bundles)
         n = len(bundles)
         results: list = [None] * n
         paths: list[list[tuple[str, float]]] = [[] for _ in range(n)]

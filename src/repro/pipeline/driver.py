@@ -1,0 +1,228 @@
+"""The micro-batch crawl driver.
+
+:class:`CrawlPipeline` drains micro-batches of up to
+``config.pipeline_batch_size`` frontier entries per round and pushes
+them through the seven stages.  The round has two halves:
+
+* the **front half** (admit -> fetch) runs per entry, in pop order,
+  even inside a batch: politeness slots, breaker verdicts, the DNS
+  cache and worker-pool scheduling all depend on the fetch that came
+  before, so these stages see size-1 batches while the round
+  accumulates;
+* the **back half** (convert -> analyze -> classify -> persist ->
+  expand) runs once per round over the accumulated batch.  Classify
+  issues a single ``classify_batch`` call; persist and expand then
+  replay the batch in document order.
+
+A retraining point inside a batch splits it: documents up to the
+trigger are committed, the retrain callback fires, and the remainder
+is *re-classified* under the new model before its own commit -- so a
+batched crawl never classifies a document with a model older than the
+one the per-document formulation would have used.
+
+At ``pipeline_batch_size=1`` every round is one frontier pop and the
+driver is operation-for-operation the historical monolithic loop: the
+Table-1 counters, the simulated clock, the frontier and every stored
+row come out bit-identical.  At larger sizes the strict
+visit-by-visit interleaving of commit and pop is relaxed (documents
+fetched together are committed together), which is the documented
+trade for the kernel speedup.
+
+Observability: hooks registered via :meth:`CrawlPipeline.add_hook`
+receive ``(stage_name, in_size, out_size, elapsed)`` for every stage
+invocation, where ``elapsed`` is real (wall-clock) seconds spent in
+the stage -- the basis of the pipeline benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.pipeline.stages import (
+    AdmitStage,
+    AnalyzeStage,
+    ClassifyStage,
+    ConvertStage,
+    CrawlItem,
+    ExpandStage,
+    FetchStage,
+    PersistStage,
+)
+
+__all__ = ["CrawlPipeline"]
+
+
+class CrawlPipeline:
+    """Drains the frontier through the staged pipeline."""
+
+    def __init__(self, ctx) -> None:
+        self.ctx = ctx
+        self.admit = AdmitStage()
+        self.fetch = FetchStage()
+        self.convert = ConvertStage()
+        self.analyze = AnalyzeStage()
+        self.classify = ClassifyStage()
+        self.persist = PersistStage()
+        self.expand = ExpandStage()
+        self.stages = (
+            self.admit, self.fetch, self.convert, self.analyze,
+            self.classify, self.persist, self.expand,
+        )
+        self.hooks: list = []
+
+    def add_hook(self, hook) -> None:
+        """Register ``hook(stage_name, in_size, out_size, elapsed)``."""
+        self.hooks.append(hook)
+
+    def _run_stage(self, stage, batch: list[CrawlItem]) -> list[CrawlItem]:
+        started = time.perf_counter()
+        out = stage.run(batch, self.ctx)
+        elapsed = time.perf_counter() - started
+        for hook in self.hooks:
+            hook(stage.name, len(batch), len(out), elapsed)
+        return out
+
+    # ------------------------------------------------------------------
+    # the crawl loop
+    # ------------------------------------------------------------------
+
+    def crawl(self, phase, resume=None, checkpointer=None):
+        """Run one phase until its budget or the frontier is exhausted.
+
+        ``resume`` continues counting into stats restored by
+        :func:`repro.robust.checkpoint.restore_context` (fetch budgets
+        are cumulative across the interruption).  ``checkpointer`` is
+        an object with ``on_visit(crawler, stats)`` called once per
+        popped entry, after that entry's batch was committed -- at
+        batch size 1 that is after every single visit, exactly the
+        historical cadence.
+
+        When every remaining URL is deferred (backoff retries, host
+        quarantines), the loop advances the simulated clock to the
+        earliest ready time instead of giving up.
+        """
+        from repro.core.crawler import CrawlStats
+
+        ctx = self.ctx
+        stats = resume if resume is not None else CrawlStats()
+        ctx.stats = stats
+        ctx.phase = phase
+        base_seconds = stats.simulated_seconds
+        started_at = ctx.clock.now
+        deadline = (
+            started_at + phase.time_budget
+            if phase.time_budget is not None
+            else None
+        )
+        batch_size = ctx.config.pipeline_batch_size
+        checkpoint_target = ctx.owner if ctx.owner is not None else ctx
+        exhausted = False
+        while not exhausted:
+            batch: list[CrawlItem] = []
+            pops = 0
+            while pops < batch_size:
+                if phase.fetch_budget is not None and (
+                    stats.visited_urls >= phase.fetch_budget
+                ):
+                    exhausted = True
+                    break
+                if deadline is not None and ctx.clock.now >= deadline:
+                    exhausted = True
+                    break
+                entry = ctx.frontier.pop()
+                if entry is None:
+                    if pops:
+                        # commit what we have first; expanding it may
+                        # refill the frontier
+                        break
+                    ready_at = ctx.frontier.next_ready_at()
+                    if ready_at is None:
+                        exhausted = True
+                        break
+                    if deadline is not None and ready_at >= deadline:
+                        exhausted = True
+                        break
+                    ctx.clock.advance_to(ready_at)
+                    continue
+                pops += 1
+                admitted = self._run_stage(
+                    self.admit, [CrawlItem(entry=entry)]
+                )
+                if admitted:
+                    batch.extend(self._run_stage(self.fetch, admitted))
+            if batch:
+                self._commit(batch)
+            stats.simulated_seconds = base_seconds + (
+                ctx.clock.now - started_at
+            )
+            if checkpointer is not None:
+                for _ in range(pops):
+                    checkpointer.on_visit(checkpoint_target, stats)
+        ctx.pool.drain()
+        stats.simulated_seconds = base_seconds + (ctx.clock.now - started_at)
+        if ctx.loader is not None:
+            ctx.loader.flush_all()
+        return stats
+
+    def visit_one(self, entry, phase, stats) -> None:
+        """Process a single frontier entry end to end (test/debug hook;
+        the old ``FocusedCrawler._visit`` contract)."""
+        ctx = self.ctx
+        previous = (ctx.stats, ctx.phase)
+        ctx.stats = stats
+        ctx.phase = phase
+        try:
+            batch = self._run_stage(self.admit, [CrawlItem(entry=entry)])
+            if batch:
+                batch = self._run_stage(self.fetch, batch)
+            if batch:
+                self._commit(batch)
+        finally:
+            ctx.stats, ctx.phase = previous
+
+    # ------------------------------------------------------------------
+    # batch commit
+    # ------------------------------------------------------------------
+
+    def _commit(self, batch: list[CrawlItem]) -> None:
+        """Run the back half over a fetched batch, honouring retrains."""
+        ctx = self.ctx
+        batch = self._run_stage(self.convert, batch)
+        pending = self._run_stage(self.analyze, batch)
+        while pending:
+            pending = self._run_stage(self.classify, pending)
+            span, pending = self._split_at_retrain(pending)
+            self._run_stage(self.persist, span)
+            self._run_stage(self.expand, span)
+            for item in span:
+                if ctx.on_document is not None:
+                    ctx.on_document(item.document, item.classification)
+                if item.classification.accepted:
+                    ctx.docs_since_retrain += 1
+                    if (
+                        ctx.on_retrain is not None
+                        and ctx.docs_since_retrain
+                        >= ctx.config.retrain_interval
+                    ):
+                        ctx.docs_since_retrain = 0
+                        ctx.on_retrain()
+            # anything after the split is re-classified under the
+            # retrained model on the next pass
+
+    def _split_at_retrain(self, batch: list[CrawlItem]):
+        """Split a classified batch at the first retraining trigger.
+
+        Returns ``(span, rest)`` where ``span`` ends with the document
+        whose acceptance will fire the retrain callback; ``rest`` must
+        be re-classified under the new model.
+        """
+        ctx = self.ctx
+        if ctx.on_retrain is None:
+            return batch, []
+        accepted_so_far = ctx.docs_since_retrain
+        for index, item in enumerate(batch):
+            if item.classification.accepted:
+                accepted_so_far += 1
+                if accepted_so_far >= ctx.config.retrain_interval:
+                    return batch[: index + 1], batch[index + 1:]
+        return batch, []

@@ -1,0 +1,494 @@
+"""The seven named crawl stages (paper section 4.2, made explicit).
+
+Each stage implements the :class:`Stage` protocol -- ``run(batch, ctx)
+-> batch`` over a list of :class:`CrawlItem` -- and is stateless apart
+from what it reads and writes on the :class:`~repro.pipeline.context.
+CrawlContext`.  An item that a stage rejects (bad URL, quarantined
+host, duplicate, unhandled MIME type, ...) is simply dropped from the
+returned batch after the relevant counter was charged, exactly like
+the historical monolith returned early from ``_visit``.
+
+Data flow::
+
+    admit -> fetch -> convert -> analyze -> classify -> persist -> expand
+
+**admit** and **fetch** are order-sensitive (politeness slots, breaker
+verdicts and worker-pool scheduling depend on the fetch that came
+before), so the driver feeds them entry by entry while accumulating a
+micro-batch.  **convert**/**analyze**/**classify** are batch stages --
+classify issues *one* :meth:`~repro.core.classifier.
+HierarchicalClassifier.classify_batch` call per micro-batch, the
+wave-based kernel path from :mod:`repro.perf.compiled`.  **persist**
+and **expand** replay their batch in document order so bulk-loader row
+order, frontier pushes and retrain triggers match the per-document
+formulation.
+
+Simulated time: the full per-document cost (DNS + network + the
+convert/analyze/classify breakdown from
+:attr:`~repro.core.config.BingoConfig.processing_cost`) is charged on
+the fetching worker, as the paper's crawler threads fetch and process
+inline; the split into per-stage cost fields makes the charge tunable
+per experiment without changing worker-pool scheduling.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, replace
+from typing import Protocol, runtime_checkable
+
+from repro.errors import DNSError
+from repro.robust.breaker import DEFER_QUARANTINE, DEFER_SLOW
+from repro.text.features import AnalyzedDocument
+from repro.text.tokenizer import tokenize_html
+from repro.web.server import FetchStatus
+from repro.web.urls import is_crawlable_url, join_url, parse_url
+
+__all__ = [
+    "STAGE_NAMES",
+    "CrawlItem",
+    "Stage",
+    "AdmitStage",
+    "FetchStage",
+    "ConvertStage",
+    "AnalyzeStage",
+    "ClassifyStage",
+    "PersistStage",
+    "ExpandStage",
+]
+
+#: canonical stage order
+STAGE_NAMES = (
+    "admit", "fetch", "convert", "analyze", "classify", "persist", "expand",
+)
+
+
+@dataclass
+class CrawlItem:
+    """One URL's state as it moves through the stages."""
+
+    entry: object
+    """The :class:`~repro.core.frontier.QueueEntry` being visited."""
+    parsed: object = None
+    actual_url: str = ""
+    """The entry URL with any fragment stripped."""
+    host_state: object = None
+    """The host's circuit breaker (carries politeness slots)."""
+    dns: object = None
+    result: object = None
+    """The server's fetch result."""
+    converted: object = None
+    html_doc: object = None
+    counts: dict | None = None
+    """Per-feature-space term multisets extracted by analyze."""
+    out_urls: list | None = None
+    """Resolved, crawlable absolute link targets."""
+    classification: object = None
+    document: object = None
+    """The stored :class:`~repro.core.crawler.CrawledDocument`."""
+    fetched_at: float = 0.0
+    """Simulated clock reading when the fetch completed.  Captured in
+    the fetch stage so a document stored later in the micro-batch keeps
+    its own fetch time rather than the commit-time clock."""
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One composable pipeline stage."""
+
+    name: str
+
+    def run(self, batch: list[CrawlItem], ctx) -> list[CrawlItem]:
+        """Transform a micro-batch; dropped items simply disappear."""
+        ...
+
+
+class AdmitStage:
+    """Politeness, capacity and circuit-breaker verdicts.
+
+    Screens URL sanity and locked domains, asks the host's breaker for
+    an admission verdict (deferring quarantined / cooling-down hosts
+    back into the frontier), then blocks until both a host politeness
+    slot and a domain politeness slot are free.
+    """
+
+    name = "admit"
+
+    def run(self, batch: list[CrawlItem], ctx) -> list[CrawlItem]:
+        stats = ctx.stats
+        admitted: list[CrawlItem] = []
+        for item in batch:
+            url = item.entry.url
+            if not is_crawlable_url(url):
+                stats.url_rejected += 1
+                continue
+            parsed = parse_url(url)
+            assert parsed is not None  # is_crawlable_url guarantees it
+            if parsed.domain in ctx.config.locked_domains:
+                stats.locked_skipped += 1
+                continue
+            host_state, verdict, ready_at = ctx.hosts.admit(
+                parsed.host, ctx.clock.now
+            )
+            if verdict in (DEFER_SLOW, DEFER_QUARANTINE):
+                ctx.defer_entry(item.entry, host_state, verdict, ready_at,
+                                stats)
+                continue
+            item.parsed = parsed
+            item.host_state = host_state
+            item.actual_url = url.split("#", 1)[0]
+            # Politeness: wait until a host slot AND a domain slot are
+            # both actually free.  A single advance is not enough -- the
+            # slot that opened at the earliest busy-until time may be
+            # taken by the same deadline as another, or freeing the host
+            # can still leave the domain saturated -- so loop until both
+            # capacity checks pass (each check prunes expired slots at
+            # the advanced clock).
+            while True:
+                waits = []
+                if not ctx.host_has_capacity(parsed.host):
+                    waits.append(min(host_state.busy_until))
+                if not ctx.domain_has_capacity(parsed.domain):
+                    waits.append(
+                        min(ctx.domain_state(parsed.domain).busy_until)
+                    )
+                if not waits:
+                    break
+                stats.politeness_defers += 1
+                ctx.clock.advance_to(min(waits))
+            admitted.append(item)
+        return admitted
+
+
+class FetchStage:
+    """DNS resolution and the server round trip, with retry scheduling.
+
+    Charges the fetch duration (plus the configured processing cost) to
+    the worker pool, records the fetch outcome on the host breaker,
+    schedules backoff retries for retryable failures and screens the
+    response: duplicate stages 2 (IP+path) and 3 (IP+size), redirect
+    targets, MIME-type policies and size caps.
+    """
+
+    name = "fetch"
+
+    def run(self, batch: list[CrawlItem], ctx) -> list[CrawlItem]:
+        stats = ctx.stats
+        fetched: list[CrawlItem] = []
+        for item in batch:
+            entry = item.entry
+            parsed = item.parsed
+            host_state = item.host_state
+            actual_url = item.actual_url
+            # DNS resolution (usually a cache hit thanks to prefetch)
+            try:
+                dns = ctx.resolver.resolve(parsed.host)
+            except DNSError:
+                stats.dns_failures += 1
+                host_state.record_failure(ctx.clock.now)
+                ctx.schedule_retry(entry, actual_url, stats)
+                continue
+            # duplicate stage 2: IP + path
+            if ctx.dedup.is_known_ip_path(dns.ip, actual_url):
+                stats.duplicates_skipped += 1
+                continue
+
+            result = ctx.web.server.fetch(actual_url)
+            # the whole per-document cost rides on the fetching worker
+            # (the paper's threads fetch and process inline); see the
+            # module docstring for why the stage split keeps it here
+            duration = (
+                dns.latency + result.latency + ctx.config.processing_cost
+            )
+            start, end = ctx.pool.run(duration)
+            host_state.busy_until.append(end)
+            host_state.note_fetch_end(end)
+            ctx.domain_state(parsed.domain).busy_until.append(end)
+            stats.visited_urls += 1
+            stats.hosts_visited.add(parsed.host)
+            stats.max_depth = max(stats.max_depth, entry.depth)
+            ctx.log_fetch(actual_url, result.status, result.latency)
+            item.fetched_at = ctx.clock.now
+
+            if result.status in (FetchStatus.TIMEOUT, FetchStatus.HTTP_ERROR):
+                stats.fetch_errors += 1
+                host_state.record_failure(ctx.clock.now)
+                # allow the retry back through duplicate stage 2
+                ctx.dedup.forget_ip_path(dns.ip, actual_url)
+                ctx.schedule_retry(entry, actual_url, stats)
+                continue
+            # the host answered: anything below is not a host fault
+            host_state.record_success(ctx.clock.now)
+            if result.status == FetchStatus.LOCKED:
+                stats.locked_skipped += 1
+                continue
+            if result.status == FetchStatus.NOT_FOUND:
+                stats.not_found += 1
+                continue
+            if result.status == FetchStatus.TOO_MANY_REDIRECTS:
+                stats.redirect_loops += 1
+                continue
+            if result.status != FetchStatus.OK:
+                stats.fetch_errors += 1
+                continue
+
+            # redirects: register the chain, dedup the final URL (stage 1)
+            if result.redirect_chain and result.final_url != actual_url:
+                if ctx.dedup.register_redirect_target(result.final_url):
+                    stats.duplicates_skipped += 1
+                    continue
+            # duplicate stage 3: IP + filesize -- only when the server
+            # could attribute an IP; hashing under "" would collapse
+            # unrelated hosts
+            if result.ip and ctx.dedup.is_known_ip_size(
+                result.ip, result.size
+            ):
+                stats.duplicates_skipped += 1
+                continue
+
+            # document-type management
+            policy = ctx.config.mime_policies.get(result.mime or "")
+            if policy is None or not policy.handled or result.html is None:
+                stats.mime_rejected += 1
+                continue
+            if result.size > policy.max_size:
+                stats.size_rejected += 1
+                continue
+
+            if entry.url != actual_url:
+                item.entry = replace(entry, url=actual_url)
+            item.dns = dns
+            item.result = result
+            fetched.append(item)
+        return fetched
+
+
+class ConvertStage:
+    """Content handlers: recognised formats become HTML, then tokens."""
+
+    name = "convert"
+
+    def run(self, batch: list[CrawlItem], ctx) -> list[CrawlItem]:
+        stats = ctx.stats
+        converted_items: list[CrawlItem] = []
+        for item in batch:
+            converted = ctx.handlers.convert(
+                item.result.html, item.result.mime
+            )
+            if converted is None:
+                stats.mime_rejected += 1
+                continue
+            ctx.converted_formats[converted.source_format] += 1
+            item.converted = converted
+            item.html_doc = tokenize_html(converted.html)
+            converted_items.append(item)
+        return converted_items
+
+
+class AnalyzeStage:
+    """Feature-space extraction plus link resolution.
+
+    Link resolution happens here (not in expand) because the stored
+    document record and its link rows need the resolved targets before
+    the batch reaches persist.
+    """
+
+    name = "analyze"
+
+    def run(self, batch: list[CrawlItem], ctx) -> list[CrawlItem]:
+        stats = ctx.stats
+        for item in batch:
+            analyzed = AnalyzedDocument(tokens=item.html_doc.tokens)
+            item.counts = {
+                name: space.extract(analyzed)
+                for name, space in ctx.spaces.items()
+            }
+            resolved: list[str] = []
+            base = item.result.final_url or item.entry.url
+            for href in item.html_doc.links:
+                absolute = join_url(base, href)
+                if absolute is not None and is_crawlable_url(absolute):
+                    resolved.append(absolute)
+            item.out_urls = resolved
+            stats.extracted_links += len(resolved)
+        return batch
+
+
+class ClassifyStage:
+    """One wave-based ``classify_batch`` call for the whole micro-batch.
+
+    The per-document idf ``ingest`` is deliberately deferred to persist
+    (commit order): ingest only mutates the *live* df counters, never
+    the idf snapshot classification reads, so classifying first is
+    result-identical -- but a retraining point inside the batch must see
+    exactly the documents committed before it.
+    """
+
+    name = "classify"
+
+    def run(self, batch: list[CrawlItem], ctx) -> list[CrawlItem]:
+        if not batch:
+            return batch
+        results = ctx.classifier.classify_batch(
+            [item.counts for item in batch], mode=ctx.phase.decision_mode
+        )
+        for item, classification in zip(batch, results):
+            item.classification = classification
+        return batch
+
+
+class PersistStage:
+    """Document assembly and bulk-loader rows, in document order."""
+
+    name = "persist"
+
+    def run(self, batch: list[CrawlItem], ctx) -> list[CrawlItem]:
+        from repro.core.crawler import CrawledDocument
+
+        stats = ctx.stats
+        for item in batch:
+            ctx.classifier.ingest(item.counts)
+            entry = item.entry
+            result = item.result
+            classification = item.classification
+            doc_id = len(ctx.documents)
+            document = CrawledDocument(
+                doc_id=doc_id,
+                url=entry.url,
+                final_url=result.final_url or entry.url,
+                page_id=result.page_id,
+                host=parse_url(entry.url).host,
+                ip=result.ip or "",
+                mime=result.mime or "",
+                size=result.size,
+                title=item.html_doc.title,
+                depth=entry.depth,
+                topic=classification.topic,
+                confidence=classification.confidence,
+                counts=item.counts,
+                out_urls=item.out_urls,
+                fetched_at=item.fetched_at,
+            )
+            ctx.register_document(document)
+            stats.stored_pages += 1
+            if classification.accepted:
+                stats.positively_classified += 1
+            item.document = document
+            self._store_rows(ctx, document, item.html_doc)
+        return batch
+
+    def _store_rows(self, ctx, document, html_doc) -> None:
+        if ctx.loader is None:
+            return
+        workspace = ctx.workspace_for(document.doc_id)
+        ctx.loader.add(workspace, "documents", {
+            "doc_id": document.doc_id,
+            "url": document.url,
+            "host": document.host,
+            "mime": document.mime,
+            "size": document.size,
+            "title": document.title,
+            "topic": document.topic,
+            "confidence": document.confidence,
+            "crawl_depth": document.depth,
+            "fetched_at": document.fetched_at,
+            "page_id": document.page_id,
+        })
+        term_counts = document.counts.get("term", Counter())
+        ctx.loader.add_many(workspace, "terms", [
+            {"doc_id": document.doc_id, "term": term, "tf": int(tf)}
+            for term, tf in term_counts.items()
+        ])
+        seen_targets: set[str] = set()
+        link_rows = []
+        for position, dst in enumerate(document.out_urls):
+            # repeated targets get a position-disambiguated URL; the
+            # seen-set keeps this linear on link-dense hub pages
+            link_rows.append({
+                "src_doc_id": document.doc_id,
+                "dst_url": f"{dst}#{position}" if dst in seen_targets else dst,
+                "dst_doc_id": None,
+            })
+            seen_targets.add(dst)
+        ctx.loader.add_many(workspace, "links", link_rows)
+        ctx.loader.add_many(workspace, "anchor_texts", [
+            {
+                "src_doc_id": document.doc_id,
+                "dst_url": href,
+                "term": term,
+                "tf": int(tf),
+            }
+            for href, terms in html_doc.anchor_terms.items()
+            for term, tf in Counter(terms).items()
+        ])
+
+
+class ExpandStage:
+    """Frontier pushes under the phase's focusing policy (paper 3.3)."""
+
+    name = "expand"
+
+    def run(self, batch: list[CrawlItem], ctx) -> list[CrawlItem]:
+        for item in batch:
+            self.enqueue_links(
+                ctx, item.entry, item.document, item.classification,
+                ctx.phase,
+            )
+        return batch
+
+    def enqueue_links(self, ctx, entry, document, classification,
+                      phase) -> None:
+        from repro.core.crawler import SHARP
+        from repro.core.frontier import QueueEntry
+
+        accepted = classification.accepted
+        topic = classification.topic
+        if accepted:
+            if phase.focus == SHARP and topic != entry.topic:
+                # sharp focus: only links whose source stayed in the
+                # queue's class are followed (class(p) == class(q)).
+                follow = False
+            else:
+                follow = True
+            tunnelled = 0
+        else:
+            follow = phase.tunnelling and (
+                entry.tunnelled < ctx.config.max_tunnelling_distance
+            )
+            tunnelled = entry.tunnelled + 1
+            topic = entry.topic  # tunnelled links stay in the source queue
+        if not follow:
+            return
+        depth = entry.depth + 1
+        if phase.max_depth is not None and depth > phase.max_depth:
+            return
+        if phase.depth_first:
+            priority = float(depth)
+        else:
+            priority = max(classification.confidence, 0.0)
+        if tunnelled:
+            priority *= ctx.config.tunnel_priority_decay ** tunnelled
+        for url in document.out_urls:
+            parsed = parse_url(url)
+            if parsed is None:
+                continue
+            if parsed.domain in ctx.config.locked_domains:
+                continue
+            if (
+                phase.allowed_domains is not None
+                and parsed.domain not in phase.allowed_domains
+            ):
+                continue
+            if ctx.dedup.is_known_url(url):
+                continue
+            ctx.frontier.push(
+                QueueEntry(
+                    url=url,
+                    topic=topic,
+                    # links into slow hosts enter the queue demoted
+                    priority=priority * ctx.hosts.priority_factor(parsed.host),
+                    depth=depth,
+                    tunnelled=tunnelled,
+                    referrer_doc_id=document.doc_id,
+                )
+            )

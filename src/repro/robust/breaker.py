@@ -221,6 +221,13 @@ class BreakerBoard:
     def items(self):
         return self._hosts.items()
 
+    def admit(self, host: str, now: float) -> tuple[HostBreaker, str, float]:
+        """One-call admission for the pipeline's admit stage: returns
+        ``(breaker, verdict, ready_at)`` for ``host`` at ``now``."""
+        breaker = self.get(host)
+        verdict, ready_at = breaker.admit(now)
+        return breaker, verdict, ready_at
+
     def priority_factor(self, host: str) -> float:
         """Demotion factor for links into ``host`` (1.0 for unknown
         hosts -- looking must not create a breaker)."""

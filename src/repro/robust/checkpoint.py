@@ -6,8 +6,14 @@ complete crawl runtime -- frontier (including deferred retries), dedup
 tables, host circuit breakers, domain politeness slots, the simulated
 clock and worker pool, the DNS cache (with its RNG), the server's
 per-URL attempt counters, the document store and the phase counters --
-so a :class:`~repro.core.crawler.FocusedCrawler` restored into the same
-Web resumes to the *same Table-1 counters* as an uninterrupted run.
+so a crawl restored into the same Web resumes to the *same Table-1
+counters* as an uninterrupted run.
+
+Since the staged-pipeline refactor the runtime state lives on a
+:class:`~repro.pipeline.context.CrawlContext`; the snapshot/restore
+primitives operate on the context, and every entry point accepts either
+a context or a :class:`~repro.core.crawler.FocusedCrawler` facade (whose
+``ctx`` attribute is then used).
 
 What the checkpoint deliberately does **not** capture is the trained
 classifier: models are reconstructed deterministically by re-running the
@@ -39,15 +45,23 @@ from repro.storage.persistence import (
 )
 
 __all__ = [
+    "snapshot_context",
     "snapshot_crawler",
     "save_checkpoint",
     "load_checkpoint",
+    "restore_context",
     "restore_crawler",
     "Checkpointer",
 ]
 
 _KIND = "crawl"
 _DB_SUBDIR = "database"
+
+
+def _context_of(obj):
+    """The :class:`CrawlContext` of a crawler facade, or ``obj`` itself
+    when it already is a context."""
+    return getattr(obj, "ctx", obj)
 
 
 # ----------------------------------------------------------------------
@@ -97,43 +111,53 @@ def _document_from_dict(data: dict):
 
 
 # ----------------------------------------------------------------------
-# whole-crawler snapshot
+# whole-context snapshot
 # ----------------------------------------------------------------------
 
-def snapshot_crawler(crawler, stats) -> dict:
-    """The complete serializable runtime state of one crawl."""
-    server = crawler.web.server
+def snapshot_context(ctx, stats) -> dict:
+    """The complete serializable runtime state of one crawl context."""
+    ctx = _context_of(ctx)
+    server = ctx.web.server
     return {
-        "clock_now": crawler.clock.now,
-        "pool_free_at": list(crawler.pool._free_at),
-        "resolver": crawler.resolver.snapshot(),
+        "clock_now": ctx.clock.now,
+        "pool_free_at": list(ctx.pool._free_at),
+        "resolver": ctx.resolver.snapshot(),
         "server": {
             "attempts": dict(server._attempts),
             "fetch_counts": dict(server.fetch_counts),
         },
-        "frontier": crawler.frontier.snapshot(),
-        "dedup": crawler.dedup.snapshot(),
-        "hosts": crawler._hosts.to_dict(),
+        "frontier": ctx.frontier.snapshot(),
+        "dedup": ctx.dedup.snapshot(),
+        "hosts": ctx.hosts.to_dict(),
         "domains": {
             domain: list(state.busy_until)
-            for domain, state in crawler._domains.items()
+            for domain, state in ctx.domains.items()
         },
         "stats": _stats_to_dict(stats),
-        "documents": [_document_to_dict(doc) for doc in crawler.documents],
-        "docs_since_retrain": crawler._docs_since_retrain,
-        "log_sequence": crawler._log_sequence,
-        "converted_formats": dict(crawler.converted_formats),
-        "retry_log": list(crawler.retry_log),
+        "documents": [_document_to_dict(doc) for doc in ctx.documents],
+        "docs_since_retrain": ctx.docs_since_retrain,
+        "log_sequence": ctx.log_sequence,
+        "converted_formats": dict(ctx.converted_formats),
+        "retry_log": list(ctx.retry_log),
     }
 
 
+def snapshot_crawler(crawler, stats) -> dict:
+    """Facade-level alias of :func:`snapshot_context`."""
+    return snapshot_context(crawler, stats)
+
+
 def save_checkpoint(crawler, stats, directory) -> pathlib.Path:
-    """Persist the crawl state (and database rows, if a loader is set)."""
+    """Persist the crawl state (and database rows, if a loader is set).
+
+    ``crawler`` may be a :class:`FocusedCrawler` or its context.
+    """
+    ctx = _context_of(crawler)
     directory = pathlib.Path(directory)
-    if crawler.loader is not None:
-        crawler.loader.flush_all()
-        dump_database(crawler.loader.database, directory / _DB_SUBDIR)
-    return dump_state(snapshot_crawler(crawler, stats), directory, kind=_KIND)
+    if ctx.loader is not None:
+        ctx.loader.flush_all()
+        dump_database(ctx.loader.database, directory / _DB_SUBDIR)
+    return dump_state(snapshot_context(ctx, stats), directory, kind=_KIND)
 
 
 def load_checkpoint(directory) -> dict:
@@ -141,19 +165,20 @@ def load_checkpoint(directory) -> dict:
     return load_state(directory, kind=_KIND)
 
 
-def restore_crawler(crawler, source, restore_database: bool = True):
-    """Apply a checkpoint to a freshly constructed crawler.
+def restore_context(ctx, source, restore_database: bool = True):
+    """Apply a checkpoint to a freshly constructed crawl context.
 
     ``source`` is a checkpoint directory or a state dict from
-    :func:`load_checkpoint`.  The crawler must be bound to the same Web
+    :func:`load_checkpoint`.  The context must be bound to the same Web
     (same generator config and seed) and an identically trained
     classifier.  Returns the restored :class:`CrawlStats` to pass back
     into ``crawl(phase, resume=...)``.
     """
     import heapq
 
-    from repro.core.crawler import _DomainState
+    from repro.pipeline.context import DomainState
 
+    ctx = _context_of(ctx)
     directory: pathlib.Path | None = None
     if isinstance(source, (str, pathlib.Path)):
         directory = pathlib.Path(source)
@@ -161,44 +186,49 @@ def restore_crawler(crawler, source, restore_database: bool = True):
     else:
         state = source
 
-    crawler.clock.now = state["clock_now"]
-    crawler.pool._free_at = list(state["pool_free_at"])
-    heapq.heapify(crawler.pool._free_at)
-    crawler.resolver.restore(state["resolver"])
+    ctx.clock.now = state["clock_now"]
+    ctx.pool._free_at = list(state["pool_free_at"])
+    heapq.heapify(ctx.pool._free_at)
+    ctx.resolver.restore(state["resolver"])
 
-    server = crawler.web.server
+    server = ctx.web.server
     server._attempts = Counter(state["server"]["attempts"])
     server.fetch_counts = Counter(state["server"]["fetch_counts"])
 
-    crawler.frontier.restore(state["frontier"])
-    crawler.dedup.restore(state["dedup"])
-    crawler._hosts.restore(state["hosts"])
-    crawler._domains = {
-        domain: _DomainState(busy_until=list(busy))
+    ctx.frontier.restore(state["frontier"])
+    ctx.dedup.restore(state["dedup"])
+    ctx.hosts.restore(state["hosts"])
+    ctx.domains = {
+        domain: DomainState(busy_until=list(busy))
         for domain, busy in state["domains"].items()
     }
-    crawler.documents = [_document_from_dict(d) for d in state["documents"]]
-    crawler._url_to_doc = {
-        doc.final_url: doc.doc_id for doc in crawler.documents
+    ctx.documents = [_document_from_dict(d) for d in state["documents"]]
+    ctx.url_to_doc = {
+        doc.final_url: doc.doc_id for doc in ctx.documents
     }
-    crawler._docs_since_retrain = state["docs_since_retrain"]
-    crawler._log_sequence = state["log_sequence"]
-    crawler.converted_formats = Counter(state["converted_formats"])
-    crawler.retry_log = list(state["retry_log"])
+    ctx.docs_since_retrain = state["docs_since_retrain"]
+    ctx.log_sequence = state["log_sequence"]
+    ctx.converted_formats = Counter(state["converted_formats"])
+    ctx.retry_log = list(state["retry_log"])
 
     if (
         restore_database
         and directory is not None
-        and crawler.loader is not None
+        and ctx.loader is not None
         and (directory / _DB_SUBDIR / "manifest.json").exists()
     ):
         dumped = load_database(directory / _DB_SUBDIR, validate=False)
         for name, relation in dumped.relations.items():
             rows = relation.scan()
             if rows:
-                crawler.loader.database.table(name).bulk_insert(rows)
+                ctx.loader.database.table(name).bulk_insert(rows)
 
     return _stats_from_dict(state["stats"])
+
+
+def restore_crawler(crawler, source, restore_database: bool = True):
+    """Facade-level alias of :func:`restore_context`."""
+    return restore_context(crawler, source, restore_database)
 
 
 class Checkpointer:

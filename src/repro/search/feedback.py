@@ -80,10 +80,15 @@ class FeedbackSession:
         """Re-classify ``documents`` under the retrained model; returns
         those still accepted into the topic, best confidence first."""
         classifier = self.engine.classifier
-        surviving: list[tuple[float, CrawledDocument]] = []
-        for document in documents:
-            result = classifier.classify(document.counts)
-            if result.topic == self.topic:
-                surviving.append((result.confidence, document))
+        # one batch call: the retrained model compiles once for the
+        # whole result list instead of per document
+        results = classifier.classify_batch(
+            [document.counts for document in documents]
+        )
+        surviving = [
+            (result.confidence, document)
+            for document, result in zip(documents, results)
+            if result.topic == self.topic
+        ]
         surviving.sort(key=lambda pair: (-pair[0], pair[1].doc_id))
         return [document for _confidence, document in surviving]

@@ -71,6 +71,16 @@ class BulkLoader:
         if workspace.add(relation, row) >= self.batch_size:
             self._flush_buffer(workspace, relation)
 
+    def add_many(self, thread_id: int, relation: str,
+                 rows: list[dict]) -> None:
+        """Buffer a row sequence with the same flush cadence as repeated
+        :meth:`add` calls (every ``batch_size``-th row flushes), so the
+        pipeline's batched persist stage writes identical batches."""
+        workspace = self.workspace(thread_id)
+        for row in rows:
+            if workspace.add(relation, row) >= self.batch_size:
+                self._flush_buffer(workspace, relation)
+
     def _flush_buffer(self, workspace: Workspace, relation: str) -> None:
         rows = workspace.take(relation)
         if not rows:

@@ -1,0 +1,193 @@
+"""Stage protocol, per-stage hooks, cost breakdown and workspace
+sharding -- the pipeline's contract surface.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BingoConfig, FocusedCrawler
+from repro.core.crawler import SOFT, PhaseSettings
+from repro.errors import ConfigError
+from repro.pipeline import STAGE_NAMES, CrawlPipeline, Stage
+from repro.storage.bulkloader import BulkLoader
+from repro.storage.database import Database
+from repro.web import SyntheticWeb
+
+from tests.conftest import small_web_config
+from tests.core.conftest import fast_engine_config
+from tests.core.test_crawler import make_trained_classifier
+
+
+@pytest.fixture(scope="module")
+def web():
+    return SyntheticWeb.generate(small_web_config())
+
+
+def build_crawler(web, **overrides) -> FocusedCrawler:
+    config = fast_engine_config(max_retries=2, **overrides)
+    classifier = make_trained_classifier(web, config)
+    return FocusedCrawler(web, classifier, config)
+
+
+class TestStageContract:
+    def test_canonical_stage_order(self) -> None:
+        assert STAGE_NAMES == (
+            "admit", "fetch", "convert", "analyze", "classify",
+            "persist", "expand",
+        )
+
+    def test_pipeline_wires_stages_in_order(self, web) -> None:
+        crawler = build_crawler(web)
+        assert tuple(s.name for s in crawler.pipeline.stages) == STAGE_NAMES
+
+    def test_stages_satisfy_protocol(self, web) -> None:
+        crawler = build_crawler(web)
+        for stage in crawler.pipeline.stages:
+            assert isinstance(stage, Stage)
+
+    def test_custom_stage_satisfies_protocol(self) -> None:
+        class Passthrough:
+            name = "passthrough"
+
+            def run(self, batch, ctx):
+                return batch
+
+        assert isinstance(Passthrough(), Stage)
+        assert isinstance(CrawlPipeline, type)
+
+
+class TestStageHooks:
+    def test_on_batch_reports_every_stage(self, web) -> None:
+        crawler = build_crawler(web)
+        events: list[tuple[str, int, int, float]] = []
+        crawler.pipeline.add_hook(
+            lambda name, n_in, n_out, elapsed: events.append(
+                (name, n_in, n_out, elapsed)
+            )
+        )
+        crawler.seed(
+            web.seed_homepages(3), topic="ROOT/databases", priority=10.0
+        )
+        stats = crawler.crawl(
+            PhaseSettings(name="t", focus=SOFT, fetch_budget=20)
+        )
+        seen_stages = {name for name, *_ in events}
+        assert seen_stages == set(STAGE_NAMES)
+        for name, n_in, n_out, elapsed in events:
+            assert n_out <= n_in or name == "classify"
+            assert elapsed >= 0.0
+        # front half runs entry by entry: every admit batch has size 1
+        assert all(
+            n_in == 1 for name, n_in, _o, _e in events if name == "admit"
+        )
+        # stored documents all flowed through persist
+        persisted = sum(
+            n_out for name, _i, n_out, _e in events if name == "persist"
+        )
+        assert persisted == stats.stored_pages
+
+    def test_batched_commit_groups_documents(self, web) -> None:
+        crawler = build_crawler(web, pipeline_batch_size=8)
+        sizes: list[int] = []
+        crawler.pipeline.add_hook(
+            lambda name, n_in, n_out, elapsed:
+            sizes.append(n_in) if name == "classify" else None
+        )
+        crawler.seed(
+            web.seed_homepages(10), topic="ROOT/databases", priority=10.0
+        )
+        crawler.crawl(PhaseSettings(name="t", focus=SOFT, fetch_budget=60))
+        assert sizes, "classify stage never ran"
+        assert max(sizes) > 1, "batched crawl never grouped documents"
+
+
+class TestProcessingCostBreakdown:
+    def test_defaults_sum_to_historical_constant(self) -> None:
+        config = BingoConfig()
+        # exact float equality: 0.0125 + 0.0125 + 0.025 == 0.05 in IEEE
+        # doubles, so simulated timing is bit-identical to the old
+        # module-level PROCESSING_COST
+        assert config.processing_cost == 0.05
+
+    def test_breakdown_is_tunable(self) -> None:
+        config = BingoConfig(
+            convert_cost=0.1, analyze_cost=0.2, classify_cost=0.3
+        )
+        assert config.processing_cost == pytest.approx(0.6)
+
+    def test_negative_cost_rejected(self) -> None:
+        with pytest.raises(ConfigError):
+            BingoConfig(analyze_cost=-0.1).validate()
+
+    def test_zero_batch_size_rejected(self) -> None:
+        with pytest.raises(ConfigError):
+            BingoConfig(pipeline_batch_size=0).validate()
+
+    def test_costs_charge_simulated_time(self, web) -> None:
+        cheap = build_crawler(web)
+        dear = build_crawler(
+            web, convert_cost=1.0, analyze_cost=1.0, classify_cost=1.0
+        )
+        for crawler in (cheap, dear):
+            crawler.seed(
+                web.seed_homepages(2), topic="ROOT/databases", priority=10.0
+            )
+        phase = PhaseSettings(name="t", focus=SOFT, fetch_budget=10)
+        cheap_stats = cheap.crawl(phase)
+        dear_stats = dear.crawl(phase)
+        assert dear_stats.simulated_seconds > cheap_stats.simulated_seconds
+
+
+class TestWorkspaceSharding:
+    def test_workspace_for_is_modulo_threads(self, web) -> None:
+        crawler = build_crawler(web)
+        threads = crawler.config.crawler_threads
+        for key in (0, 1, threads - 1, threads, threads + 7, 12345):
+            assert crawler.ctx.workspace_for(key) == key % threads
+
+    def test_log_and_rows_share_the_sharding_helper(self, web) -> None:
+        """Fetch-log rows and document rows agree on the workspace
+        scheme: every used workspace id is < crawler_threads."""
+        config = fast_engine_config(max_retries=2)
+        classifier = make_trained_classifier(web, config)
+        database = Database(validate=True)
+        loader = BulkLoader(database, batch_size=10)
+        crawler = FocusedCrawler(web, classifier, config, loader=loader)
+        crawler.seed(
+            web.seed_homepages(3), topic="ROOT/databases", priority=10.0
+        )
+        crawler.crawl(PhaseSettings(name="t", focus=SOFT, fetch_budget=30))
+        used = set(loader._workspaces)
+        assert used
+        assert all(
+            0 <= ws < config.crawler_threads for ws in used
+        )
+
+
+class TestVisitOneCompat:
+    def test_visit_one_matches_crawl_of_one(self, web) -> None:
+        from repro.core.crawler import CrawlStats
+        from repro.core.frontier import QueueEntry
+
+        url = web.seed_homepages(1)[0]
+        phase = PhaseSettings(name="t", focus=SOFT, fetch_budget=10)
+
+        via_visit = build_crawler(web)
+        stats = CrawlStats()
+        via_visit._visit(
+            QueueEntry(url=url, topic="ROOT/databases", priority=1.0,
+                       depth=0),
+            phase, stats,
+        )
+
+        via_crawl = build_crawler(web)
+        via_crawl.seed([url], topic="ROOT/databases", priority=1.0)
+        crawl_stats = via_crawl.crawl(
+            PhaseSettings(name="t", focus=SOFT, fetch_budget=1)
+        )
+        assert stats.visited_urls == crawl_stats.visited_urls == 1
+        assert stats.stored_pages == crawl_stats.stored_pages
+        assert [d.final_url for d in via_visit.documents] == [
+            d.final_url for d in via_crawl.documents
+        ]
