@@ -87,9 +87,12 @@ def bench_stage_breakdown(
     elapsed_by_stage: dict[str, float] = {}
     batches_by_stage: dict[str, int] = {}
 
-    def record(name: str, n_in: int, n_out: int, elapsed: float) -> None:
-        elapsed_by_stage[name] = elapsed_by_stage.get(name, 0.0) + elapsed
-        batches_by_stage[name] = batches_by_stage.get(name, 0) + 1
+    def record(event) -> None:
+        stage = event.stage
+        elapsed_by_stage[stage] = (
+            elapsed_by_stage.get(stage, 0.0) + event.elapsed
+        )
+        batches_by_stage[stage] = batches_by_stage.get(stage, 0) + 1
 
     engine.crawler.pipeline.add_hook(record)
     engine.run(harvesting_fetch_budget=harvesting_fetch_budget)

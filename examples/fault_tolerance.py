@@ -14,13 +14,19 @@ a hard pass/fail verdict so CI can run this script as a gate:
 
 Run with::
 
-    python examples/fault_tolerance.py
+    python examples/fault_tolerance.py [--metrics-out PATH]
 
+``--metrics-out`` writes both demos' final metrics snapshots
+(:mod:`repro.obs`) as one JSON document, keyed ``burst`` / ``resume``
+-- CI uses it to assert the breaker transition counters exported.
 Exits non-zero if any check fails.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import pathlib
 import sys
 import tempfile
 
@@ -83,7 +89,7 @@ def build_crawler(config: BingoConfig) -> FocusedCrawler:
     return crawler
 
 
-def burst_failure_demo() -> None:
+def burst_failure_demo() -> FocusedCrawler:
     print("== crawl under an injected burst-failure window ==")
     web = SyntheticWeb.generate(WEB_CONFIG)
     victim = next(
@@ -129,9 +135,14 @@ def burst_failure_demo() -> None:
         ),
         "every retry carried a backoff deadline",
     )
+    transitions = crawler.obs.registry.value(
+        "robust_breaker_transitions_total", change="closed->open"
+    )
+    check(transitions >= 1, "breaker transitions were counted in the registry")
+    return crawler
 
 
-def checkpoint_resume_demo() -> None:
+def checkpoint_resume_demo() -> FocusedCrawler:
     print("== checkpoint / kill / resume ==")
     config = BingoConfig(
         max_retries=2, selected_features=300, tf_preselection=1000
@@ -167,11 +178,34 @@ def checkpoint_resume_demo() -> None:
         == [d.final_url for d in baseline.documents],
         "resumed crawl stored identical documents",
     )
+    return resumed
 
 
-def main() -> int:
-    burst_failure_demo()
-    checkpoint_resume_demo()
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write both demos' metrics snapshots to PATH as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    burst_crawler = burst_failure_demo()
+    resumed_crawler = checkpoint_resume_demo()
+
+    if args.metrics_out:
+        path = pathlib.Path(args.metrics_out)
+        if path.parent != pathlib.Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(
+            {
+                "burst": burst_crawler.obs.registry.snapshot(),
+                "resume": resumed_crawler.obs.registry.snapshot(),
+            },
+            sort_keys=True,
+            indent=2,
+        ) + "\n")
+        print(f"\nmetrics written: {path}")
+
     if failures:
         print(f"\n{len(failures)} check(s) FAILED: {failures}")
         return 1

@@ -67,6 +67,24 @@ def main() -> None:
         "researchers have a page in the crawl result"
     )
 
+    # Every subsystem reported into one metrics registry (repro.obs);
+    # the same snapshot is exportable as Prometheus text or JSON via
+    # `python -m repro.cli crawl --metrics-out metrics.json`.
+    snapshot = engine.obs.registry.snapshot()
+    print("\nfinal metrics snapshot (per-subsystem stats sources):")
+    for source, stats in snapshot["sources"].items():
+        line = " ".join(
+            f"{key}={value:g}" for key, value in sorted(stats.items())
+        )
+        print(f"  {source}: {line}")
+    metrics = engine.obs.registry
+    print(
+        "  pipeline: batches="
+        f"{metrics.value('pipeline_stage_batches_total', stage='classify'):g}"
+        f" accepted={metrics.value('pipeline_docs_accepted_total'):g}"
+        f" retries={metrics.value('robust_retries_scheduled_total'):g}"
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -55,6 +55,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dump the crawl database to DIR (JSON lines)")
     crawl.add_argument("--top", type=int, default=10,
                        help="number of top results to print")
+    crawl.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write the final metrics snapshot to PATH "
+                            "(.prom/.txt: Prometheus text; otherwise JSON)")
 
     ablate = sub.add_parser(
         "ablate", help="sections 3.1-3.4 design-choice ablations"
@@ -121,6 +124,11 @@ def _cmd_crawl(args) -> int:
 
         rows = dump_database(engine.database, args.dump_db)
         print(f"database dumped: {rows} rows in {args.dump_db}")
+    if args.metrics_out:
+        from repro.obs import write_metrics
+
+        path = write_metrics(engine.obs.registry, args.metrics_out)
+        print(f"metrics written: {path}")
     return 0
 
 

@@ -245,6 +245,9 @@ class HierarchicalClassifier:
         carries the version it was built from and recompiles on skew."""
         self._compiled: CompiledClassifier | None = None
         self._vector_cache = VectorCache(self.config.vector_cache_size)
+        self._kernel_stats_retired: dict[str, float] = {}
+        """Accumulated counters of kernels discarded by retraining, so
+        :meth:`stats` reports lifetime totals across recompiles."""
 
     # -- corpus statistics --------------------------------------------------
 
@@ -326,6 +329,8 @@ class HierarchicalClassifier:
                 )
         self.trained = True
         self.model_version += 1
+        if self._compiled is not None:
+            self._retire_kernel_stats(self._compiled)
         self._compiled = None
 
     def _docs_of_subtree(
@@ -418,8 +423,36 @@ class HierarchicalClassifier:
             self._compiled is None
             or self._compiled.model_version != self.model_version
         ):
+            if self._compiled is not None:
+                self._retire_kernel_stats(self._compiled)
             self._compiled = compile_classifier(self)
         return self._compiled
+
+    def _retire_kernel_stats(self, kernel: CompiledClassifier) -> None:
+        for key, value in kernel.stats().items():
+            self._kernel_stats_retired[key] = (
+                self._kernel_stats_retired.get(key, 0.0) + value
+            )
+
+    def stats(self) -> dict[str, float]:
+        """Kernel-layer counters (:class:`repro.obs.api.Instrumented`).
+
+        ``kernel_*`` totals span every compiled kernel this classifier
+        has used (retraining discards kernels; their counters are
+        retired here, not lost).
+        """
+        totals = dict(self._kernel_stats_retired)
+        if self._compiled is not None:
+            for key, value in self._compiled.stats().items():
+                totals[key] = totals.get(key, 0.0) + value
+        merged = {
+            f"kernel_{key}": value for key, value in sorted(totals.items())
+        }
+        for key, value in self._vector_cache.stats().items():
+            merged[f"vector_cache_{key}"] = value
+        merged["model_version"] = float(self.model_version)
+        merged["trained"] = 1.0 if self.trained else 0.0
+        return merged
 
     def classify(
         self, doc: TrainingDoc, mode: str = "single"

@@ -167,6 +167,14 @@ class BingoConfig:
     (archetype re-scoring and retraining evaluation hit this); 0
     disables the cache."""
 
+    # -- observability (repro.obs) ------------------------------------------
+    instrumentation: bool = True
+    """Metrics registry + tracer on the crawl context.  Off turns every
+    instrument call into a no-op; crawl outcomes are bit-identical
+    either way (the golden-parity guarantee)."""
+    trace_ring_size: int = 256
+    """Finished spans retained by the tracer's ring buffer."""
+
     # -- retraining / archetypes (paper 3.2) --------------------------------
     retrain_interval: int = 150
     """Retrain after this many successfully classified documents."""
@@ -244,6 +252,8 @@ class BingoConfig:
             raise ConfigError("vector_cache_size must be >= 0")
         if self.pipeline_batch_size < 1:
             raise ConfigError("pipeline_batch_size must be >= 1")
+        if self.trace_ring_size < 0:
+            raise ConfigError("trace_ring_size must be >= 0")
         for name in ("convert_cost", "analyze_cost", "classify_cost"):
             if getattr(self, name) < 0.0:
                 raise ConfigError(f"{name} must be >= 0")

@@ -134,6 +134,16 @@ class CrawlStats:
             "max_crawling_depth": self.max_depth,
         }
 
+    def stats(self) -> dict[str, float]:
+        """Every numeric counter (:class:`repro.obs.api.Instrumented`)."""
+        out = {
+            name: float(getattr(self, name))
+            for name in sorted(self.__dataclass_fields__)
+            if name != "hosts_visited"
+        }
+        out["visited_hosts"] = float(self.visited_hosts)
+        return out
+
 
 @dataclass
 class CrawledDocument:
@@ -223,7 +233,12 @@ class FocusedCrawler:
 
     @loader.setter
     def loader(self, value) -> None:
-        self.ctx.loader = value
+        self.ctx.attach_loader(value)
+
+    @property
+    def obs(self):
+        """The crawl's observability bundle (:class:`repro.obs.Obs`)."""
+        return self.ctx.obs
 
     @property
     def on_document(self):

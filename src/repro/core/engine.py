@@ -162,6 +162,9 @@ class BingoEngine:
         self.skipped_seeds: list[str] = []
         self._bootstrapped = False
         self._active_allowed_domains: frozenset[str] | None = None
+        self.obs = self.ctx.obs
+        """The crawl's observability bundle (:class:`repro.obs.Obs`)."""
+        self.obs.register_source("engine", self)
 
     # ------------------------------------------------------------------
     # constructors for the paper's two scenarios
@@ -340,6 +343,11 @@ class BingoEngine:
                 if doc.doc_id in graph.successors
             }
             analysis = bharat_henzinger(graph, relevance=relevance)
+            registry = self.obs.registry
+            registry.counter("perf_link_analysis_runs_total").inc()
+            registry.counter("perf_link_analysis_iterations_total").inc(
+                analysis.iterations
+            )
             topic_ids = {doc.doc_id for doc in docs}
             authority_candidates = [
                 (doc_id, score)
@@ -625,6 +633,20 @@ class BingoEngine:
             )
         )
         return report
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Engine-level counters (:class:`repro.obs.api.Instrumented`)."""
+        return {
+            "retrainings": float(self.retrainings),
+            "archetypes_added": float(self.archetypes_added),
+            "archetypes_removed": float(self.archetypes_removed),
+            "skipped_seeds": float(len(self.skipped_seeds)),
+            "training_topics": float(len(self.training)),
+        }
 
     # ------------------------------------------------------------------
     # result access

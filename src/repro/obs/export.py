@@ -1,0 +1,196 @@
+"""Metric exporters: Prometheus text format, JSON snapshots, progress lines.
+
+All three read the same :meth:`~repro.obs.registry.MetricsRegistry.
+snapshot`, so they agree by construction:
+
+* :func:`to_prometheus` -- the Prometheus text exposition format
+  (``# TYPE`` headers, labelled samples, cumulative histogram
+  buckets).  :func:`parse_prometheus` reads it back into the flat
+  sample dict of :func:`flatten_snapshot` for round-trip checks.
+* :func:`to_json` / :func:`from_json` -- the snapshot as canonical
+  (sorted-key) JSON; loads back equal to the original snapshot.
+* :class:`ProgressReporter` -- a pipeline :class:`~repro.obs.api.Hook`
+  printing a one-line crawl summary every N micro-batch rounds.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import TextIO
+
+from repro.obs.api import StageEvent
+from repro.obs.registry import MetricsRegistry, format_float
+
+__all__ = [
+    "flatten_snapshot",
+    "to_prometheus",
+    "parse_prometheus",
+    "to_json",
+    "from_json",
+    "write_metrics",
+    "ProgressReporter",
+]
+
+
+def _sample_name(name: str, label_key: str, suffix: str = "") -> str:
+    full = name + suffix
+    return f"{full}{{{label_key}}}" if label_key else full
+
+
+def flatten_snapshot(snapshot: dict) -> dict[str, float]:
+    """Every sample of a snapshot as ``{'name{labels}': value}``.
+
+    Histograms expand into their cumulative ``_bucket`` samples plus
+    ``_sum`` and ``_count``; sources become ``<source>_<key>`` gauges --
+    exactly the samples :func:`to_prometheus` writes.
+    """
+    samples: dict[str, float] = {}
+    for kind in ("counters", "gauges"):
+        for name, children in snapshot[kind].items():
+            for label_key, value in children.items():
+                samples[_sample_name(name, label_key)] = float(value)
+    for name, children in snapshot["histograms"].items():
+        for label_key, data in children.items():
+            for le, count in data["buckets"]:
+                bucket_labels = ",".join(
+                    part for part in (label_key, f'le="{le}"') if part
+                )
+                samples[_sample_name(name, bucket_labels, "_bucket")] = float(
+                    count
+                )
+            samples[_sample_name(name, label_key, "_sum")] = float(
+                data["sum"]
+            )
+            samples[_sample_name(name, label_key, "_count")] = float(
+                data["count"]
+            )
+    for source, stats in snapshot["sources"].items():
+        for key, value in stats.items():
+            samples[f"{source}_{key}"] = float(value)
+    return samples
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format."""
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+    for name, children in snapshot["counters"].items():
+        lines.append(f"# TYPE {name} counter")
+        for label_key, value in children.items():
+            lines.append(
+                f"{_sample_name(name, label_key)} {format_float(value)}"
+            )
+    for name, children in snapshot["gauges"].items():
+        lines.append(f"# TYPE {name} gauge")
+        for label_key, value in children.items():
+            lines.append(
+                f"{_sample_name(name, label_key)} {format_float(value)}"
+            )
+    for name, children in snapshot["histograms"].items():
+        lines.append(f"# TYPE {name} histogram")
+        for label_key, data in children.items():
+            for le, count in data["buckets"]:
+                bucket_labels = ",".join(
+                    part for part in (label_key, f'le="{le}"') if part
+                )
+                lines.append(
+                    f"{_sample_name(name, bucket_labels, '_bucket')}"
+                    f" {format_float(count)}"
+                )
+            lines.append(
+                f"{_sample_name(name, label_key, '_sum')}"
+                f" {format_float(data['sum'])}"
+            )
+            lines.append(
+                f"{_sample_name(name, label_key, '_count')}"
+                f" {format_float(data['count'])}"
+            )
+    for source, stats in snapshot["sources"].items():
+        for key, value in stats.items():
+            name = f"{source}_{key}"
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {format_float(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse Prometheus text back into the :func:`flatten_snapshot` dict."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        samples[key] = float(value)
+    return samples
+
+
+def to_json(registry: MetricsRegistry, indent: int | None = None) -> str:
+    """The registry snapshot as canonical (sorted-key) JSON."""
+    return json.dumps(registry.snapshot(), sort_keys=True, indent=indent)
+
+
+def from_json(text: str) -> dict:
+    """Load a JSON snapshot back into its dict form."""
+    return json.loads(text)
+
+
+def write_metrics(registry: MetricsRegistry, path) -> pathlib.Path:
+    """Write a snapshot to ``path``: Prometheus text for ``.prom`` /
+    ``.txt``, JSON otherwise."""
+    path = pathlib.Path(path)
+    if path.parent != pathlib.Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix in (".prom", ".txt"):
+        path.write_text(to_prometheus(registry))
+    else:
+        path.write_text(to_json(registry, indent=2) + "\n")
+    return path
+
+
+class ProgressReporter:
+    """A typed pipeline hook printing periodic one-line progress reports.
+
+    Fires once every ``every`` micro-batch rounds (detected on the
+    ``expand`` stage, which runs exactly once per committed round) and
+    reads everything it prints from the registry, so the line reflects
+    the same counters any exporter would.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        stream: TextIO | None = None,
+        every: int = 25,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"progress interval must be >= 1, got {every}")
+        self.registry = registry
+        self.stream = stream
+        self.every = every
+        self.lines = 0
+        self._rounds = 0
+
+    def __call__(self, event: StageEvent) -> None:
+        if event.stage != "expand":
+            return
+        self._rounds += 1
+        if self._rounds % self.every:
+            return
+        registry = self.registry
+        fetched = registry.value(
+            "pipeline_stage_docs_in_total", stage="convert"
+        )
+        stored = registry.value(
+            "pipeline_stage_docs_out_total", stage="persist"
+        )
+        accepted = registry.value("pipeline_docs_accepted_total")
+        print(
+            f"[obs] round={event.batch_index}"
+            f" fetched={int(fetched)} stored={int(stored)}"
+            f" accepted={int(accepted)}"
+            f" hook_errors={int(registry.value('pipeline_hook_errors_total'))}",
+            file=self.stream,
+        )
+        self.lines += 1

@@ -36,6 +36,15 @@ class VectorCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def stats(self) -> dict[str, float]:
+        """Cache counters (:class:`repro.obs.api.Instrumented`)."""
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "entries": float(len(self._entries)),
+            "max_entries": float(self.maxsize),
+        }
+
     def clear(self) -> None:
         self._entries.clear()
 

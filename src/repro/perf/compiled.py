@@ -366,6 +366,11 @@ class CompiledClassifier:
         self.single_calls = 0
         self.batch_calls = 0
         self.batch_docs = 0
+        self.waves = 0
+        """Tree-level waves executed by :meth:`classify_many` (one wave =
+        one sparse matmat per feature space over one node's cohort)."""
+        self.wave_docs = 0
+        """Documents summed over all waves (cohort sizes)."""
 
     def classify(
         self,
@@ -421,6 +426,8 @@ class CompiledClassifier:
         pending = [(root, list(range(n)))] if n else []
         while pending:
             node, doc_ids = pending.pop()
+            self.waves += 1
+            self.wave_docs += len(doc_ids)
             level = self.levels.get(node)
             if level is None:
                 for i in doc_ids:
@@ -453,6 +460,16 @@ class CompiledClassifier:
             for child_index, sub_ids in descend.items():
                 pending.append((level.children[child_index], sub_ids))
         return results
+
+    def stats(self) -> dict[str, float]:
+        """Kernel call accounting (:class:`repro.obs.api.Instrumented`)."""
+        return {
+            "single_calls": float(self.single_calls),
+            "batch_calls": float(self.batch_calls),
+            "batch_docs": float(self.batch_docs),
+            "waves": float(self.waves),
+            "wave_docs": float(self.wave_docs),
+        }
 
     def decide_topic(
         self,

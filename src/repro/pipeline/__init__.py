@@ -14,8 +14,12 @@ schedulable stages.  This package makes the decomposition explicit:
   batch`` protocol, with the seven named stages **admit**, **fetch**,
   **convert**, **analyze**, **classify**, **persist**, **expand**;
 * :class:`~repro.pipeline.driver.CrawlPipeline` -- drains micro-batches
-  from the frontier through the stages and exposes per-stage hook
-  points for observability.
+  from the frontier through the stages.  Every stage invocation emits a
+  typed :class:`repro.obs.StageEvent` to hooks registered with
+  :meth:`~repro.pipeline.driver.CrawlPipeline.add_hook`, charges the
+  context's metrics registry and is traced as a nested span
+  (:mod:`repro.obs`); the historical positional 4-argument hooks are
+  still accepted for one release via a deprecation adapter.
 
 :class:`repro.core.crawler.FocusedCrawler` is a thin facade over this
 package; the per-document monolith it used to be lives on only as the

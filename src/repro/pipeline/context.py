@@ -23,6 +23,7 @@ from repro.core.config import BingoConfig
 from repro.core.dedup import DuplicateDetector
 from repro.core.frontier import CrawlFrontier, QueueEntry
 from repro.errors import DNSError
+from repro.obs import Obs
 from repro.robust.breaker import BreakerBoard
 from repro.robust.faults import FaultInjector
 from repro.text.features import TermSpace
@@ -60,9 +61,19 @@ class CrawlContext:
         self.config = config or BingoConfig()
         self.config.validate()
         self.clock = clock or SimulatedClock()
+        self.obs = Obs(
+            clock=lambda: self.clock.now,
+            enabled=self.config.instrumentation,
+            trace_ring=self.config.trace_ring_size,
+        )
+        """The crawl's observability bundle (:mod:`repro.obs`): metrics
+        registry + tracer on the simulated clock.  Reads crawl state,
+        never mutates it."""
         self.pool = WorkerPool(self.config.crawler_threads, self.clock)
         self.spaces = spaces or {"term": TermSpace()}
-        self.loader = loader
+        self.loader = None
+        if loader is not None:
+            self.attach_loader(loader)
         self.on_document = on_document
         self.on_retrain = on_retrain
         self.handlers = default_registry()
@@ -84,7 +95,7 @@ class CrawlContext:
             now=lambda: self.clock.now,
         )
         self.dedup = DuplicateDetector()
-        self.hosts = BreakerBoard(self.config.breaker_policy())
+        self.hosts = BreakerBoard(self.config.breaker_policy(), obs=self.obs)
         self.domains: dict[str, DomainState] = {}
         self.retry_policy = self.config.retry_policy()
         self.retry_log: list[dict] = []
@@ -111,6 +122,22 @@ class CrawlContext:
             self.web.server.faults = self.faults
             for server in self.resolver.servers:
                 server.faults = self.faults
+
+        self.obs.register_source("robust", self.hosts)
+        if hasattr(self.classifier, "stats"):
+            self.obs.register_source("perf", self.classifier)
+        self.obs.register_source(
+            "crawl",
+            lambda: self.stats.stats() if self.stats is not None else {},
+        )
+
+    def attach_loader(self, loader) -> None:
+        """Bind (or swap) the bulk loader and wire it into observability."""
+        self.loader = loader
+        if loader is not None and hasattr(loader, "stats"):
+            if getattr(loader, "obs", None) is None:
+                loader.obs = self.obs
+            self.obs.register_source("storage", loader)
 
     # ------------------------------------------------------------------
     # frontier helpers
@@ -173,6 +200,7 @@ class CrawlContext:
             entry.attempt, actual_url, seed=self.config.seed
         )
         stats.retries += 1
+        self.obs.registry.counter("robust_retries_scheduled_total").inc()
         self.retry_log.append({
             "url": actual_url,
             "attempt": entry.attempt + 1,

@@ -28,16 +28,23 @@ visit-by-visit interleaving of commit and pop is relaxed (documents
 fetched together are committed together), which is the documented
 trade for the kernel speedup.
 
-Observability: hooks registered via :meth:`CrawlPipeline.add_hook`
-receive ``(stage_name, in_size, out_size, elapsed)`` for every stage
-invocation, where ``elapsed`` is real (wall-clock) seconds spent in
-the stage -- the basis of the pipeline benchmark.
+Observability (:mod:`repro.obs`): every stage invocation produces one
+typed :class:`~repro.obs.api.StageEvent` delivered to hooks registered
+via :meth:`CrawlPipeline.add_hook` (legacy positional 4-argument hooks
+are adapted with a :class:`DeprecationWarning`), charges the context's
+metrics registry, and is traced as a span nested under its micro-batch
+round and crawl phase.  ``StageEvent.elapsed`` is real (wall-clock)
+seconds spent in the stage -- the basis of the pipeline benchmark --
+while the registry and spans record only deterministic, simulated-time
+data.  A hook that raises is isolated: the exception is counted as
+``pipeline_hook_errors_total`` and the batch continues.
 """
 
 from __future__ import annotations
 
 import time
 
+from repro.obs.api import StageEvent, as_hook
 from repro.pipeline.stages import (
     AdmitStage,
     AnalyzeStage,
@@ -69,18 +76,70 @@ class CrawlPipeline:
             self.classify, self.persist, self.expand,
         )
         self.hooks: list = []
+        self.batch_index = 0
+        """Index of the current micro-batch round (monotonic across
+        phases); stamped onto every :class:`StageEvent`."""
 
     def add_hook(self, hook) -> None:
-        """Register ``hook(stage_name, in_size, out_size, elapsed)``."""
-        self.hooks.append(hook)
+        """Register an observability hook.
 
-    def _run_stage(self, stage, batch: list[CrawlItem]) -> list[CrawlItem]:
+        ``hook(event: StageEvent)`` is the supported signature.  Legacy
+        4-argument callables ``hook(stage_name, in_size, out_size,
+        elapsed)`` are still accepted for one release: they are wrapped
+        by :func:`repro.obs.api.adapt_legacy_hook`, which emits a
+        :class:`DeprecationWarning` here at registration time.
+        """
+        self.hooks.append(as_hook(hook))
+
+    def _run_stage(self, stage, batch: list[CrawlItem],
+                   parent=None) -> list[CrawlItem]:
+        obs = self.ctx.obs
+        span = obs.tracer.start(stage.name, kind="stage", parent=parent)
         started = time.perf_counter()
         out = stage.run(batch, self.ctx)
         elapsed = time.perf_counter() - started
-        for hook in self.hooks:
-            hook(stage.name, len(batch), len(out), elapsed)
+        extras: dict[str, float] = {}
+        if stage.name == "classify":
+            accepted = sum(
+                1 for item in out
+                if item.classification is not None
+                and item.classification.accepted
+            )
+            extras["accepted"] = accepted
+            for item in out:
+                obs.tracer.event(
+                    "decision", kind="decision", parent=span,
+                    attrs={
+                        "url": item.actual_url,
+                        "topic": item.classification.topic,
+                        "accepted": item.classification.accepted,
+                        "confidence": item.classification.confidence,
+                    },
+                )
+        obs.tracer.finish(span)
+        self._emit(StageEvent(
+            stage=stage.name,
+            batch_index=self.batch_index,
+            in_size=len(batch),
+            out_size=len(out),
+            elapsed=elapsed,
+            extras=extras,
+        ))
         return out
+
+    def _emit(self, event: StageEvent) -> None:
+        """Deliver one event to the registry and every hook.
+
+        Hook exceptions must never abort a micro-batch: a raising hook
+        is charged to ``pipeline_hook_errors_total`` and skipped.
+        """
+        obs = self.ctx.obs
+        obs.record_stage_event(event)
+        for hook in self.hooks:
+            try:
+                hook(event)
+            except Exception:
+                obs.count_hook_error()
 
     # ------------------------------------------------------------------
     # the crawl loop
@@ -107,6 +166,10 @@ class CrawlPipeline:
         stats = resume if resume is not None else CrawlStats()
         ctx.stats = stats
         ctx.phase = phase
+        tracer = ctx.obs.tracer
+        crawl_span = tracer.start(
+            phase.name, kind="crawl", attrs={"resumed": resume is not None}
+        )
         base_seconds = stats.simulated_seconds
         started_at = ctx.clock.now
         deadline = (
@@ -120,6 +183,7 @@ class CrawlPipeline:
         while not exhausted:
             batch: list[CrawlItem] = []
             pops = 0
+            round_span = None
             while pops < batch_size:
                 if phase.fetch_budget is not None and (
                     stats.visited_urls >= phase.fetch_budget
@@ -145,13 +209,24 @@ class CrawlPipeline:
                     ctx.clock.advance_to(ready_at)
                     continue
                 pops += 1
+                if round_span is None:
+                    round_span = tracer.start(
+                        f"batch:{self.batch_index}", kind="micro_batch",
+                        parent=crawl_span,
+                    )
                 admitted = self._run_stage(
-                    self.admit, [CrawlItem(entry=entry)]
+                    self.admit, [CrawlItem(entry=entry)], parent=round_span
                 )
                 if admitted:
-                    batch.extend(self._run_stage(self.fetch, admitted))
+                    batch.extend(
+                        self._run_stage(self.fetch, admitted,
+                                        parent=round_span)
+                    )
             if batch:
-                self._commit(batch)
+                self._commit(batch, parent=round_span)
+            if round_span is not None:
+                tracer.finish(round_span)
+                self.batch_index += 1
             stats.simulated_seconds = base_seconds + (
                 ctx.clock.now - started_at
             )
@@ -162,6 +237,7 @@ class CrawlPipeline:
         stats.simulated_seconds = base_seconds + (ctx.clock.now - started_at)
         if ctx.loader is not None:
             ctx.loader.flush_all()
+        tracer.finish(crawl_span)
         return stats
 
     def visit_one(self, entry, phase, stats) -> None:
@@ -171,29 +247,36 @@ class CrawlPipeline:
         previous = (ctx.stats, ctx.phase)
         ctx.stats = stats
         ctx.phase = phase
+        round_span = ctx.obs.tracer.start(
+            f"batch:{self.batch_index}", kind="micro_batch"
+        )
         try:
-            batch = self._run_stage(self.admit, [CrawlItem(entry=entry)])
+            batch = self._run_stage(
+                self.admit, [CrawlItem(entry=entry)], parent=round_span
+            )
             if batch:
-                batch = self._run_stage(self.fetch, batch)
+                batch = self._run_stage(self.fetch, batch, parent=round_span)
             if batch:
-                self._commit(batch)
+                self._commit(batch, parent=round_span)
         finally:
+            ctx.obs.tracer.finish(round_span)
+            self.batch_index += 1
             ctx.stats, ctx.phase = previous
 
     # ------------------------------------------------------------------
     # batch commit
     # ------------------------------------------------------------------
 
-    def _commit(self, batch: list[CrawlItem]) -> None:
+    def _commit(self, batch: list[CrawlItem], parent=None) -> None:
         """Run the back half over a fetched batch, honouring retrains."""
         ctx = self.ctx
-        batch = self._run_stage(self.convert, batch)
-        pending = self._run_stage(self.analyze, batch)
+        batch = self._run_stage(self.convert, batch, parent=parent)
+        pending = self._run_stage(self.analyze, batch, parent=parent)
         while pending:
-            pending = self._run_stage(self.classify, pending)
+            pending = self._run_stage(self.classify, pending, parent=parent)
             span, pending = self._split_at_retrain(pending)
-            self._run_stage(self.persist, span)
-            self._run_stage(self.expand, span)
+            self._run_stage(self.persist, span, parent=parent)
+            self._run_stage(self.expand, span, parent=parent)
             for item in span:
                 if ctx.on_document is not None:
                     ctx.on_document(item.document, item.classification)

@@ -18,11 +18,16 @@ breaker turns this into the classic three-state machine:
   a cap), so a flapping host backs off geometrically.
 
 All state is plain data and serializes into the crawl checkpoint.
+Every state change fires the breaker's ``on_transition(old, new)``
+callback (wired by the board to the observability layer as the
+``robust_breaker_transitions_total`` counter); the callback is runtime
+wiring, not state -- it is excluded from checkpoints.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 __all__ = ["BreakerPolicy", "HostBreaker", "BreakerBoard"]
 
@@ -95,6 +100,16 @@ class HostBreaker:
     probes: int = 0
     busy_until: list[float] = field(default_factory=list)
     """Politeness slots (end times of in-flight fetches)."""
+    on_transition: Callable[[str, str], None] | None = field(
+        default=None, repr=False, compare=False
+    )
+    """Observability callback fired on every state change."""
+
+    def _set_state(self, new_state: str) -> None:
+        old_state = self.state
+        self.state = new_state
+        if old_state != new_state and self.on_transition is not None:
+            self.on_transition(old_state, new_state)
 
     # -- the two flags the rest of the engine reads ---------------------
 
@@ -122,7 +137,7 @@ class HostBreaker:
         if self.state == OPEN:
             if now < self.probe_at:
                 return DEFER_QUARANTINE, self.probe_at
-            self.state = HALF_OPEN
+            self._set_state(HALF_OPEN)
             self.probes += 1
             return PROBE, now
         if self.state == HALF_OPEN:
@@ -143,7 +158,7 @@ class HostBreaker:
         """A fetch got a response (any response: the host is alive)."""
         if self.state in (HALF_OPEN, OPEN):
             # probation passed: full reset
-            self.state = CLOSED
+            self._set_state(CLOSED)
             self.failures = 0
             self.consecutive = 0
             self.current_quarantine = 0.0
@@ -162,15 +177,28 @@ class HostBreaker:
                 self.current_quarantine * self.policy.quarantine_multiplier,
                 self.policy.max_quarantine,
             )
-            self.state = OPEN
+            self._set_state(OPEN)
             self.probe_at = now + self.current_quarantine
             self.trips += 1
             return
         if self.state == CLOSED and self.consecutive >= self.policy.open_after:
-            self.state = OPEN
+            self._set_state(OPEN)
             self.current_quarantine = self.policy.quarantine
             self.probe_at = now + self.current_quarantine
             self.trips += 1
+
+    # -- observability ---------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """One host's breaker counters (:class:`repro.obs.api.Instrumented`)."""
+        return {
+            "failures": float(self.failures),
+            "consecutive_failures": float(self.consecutive),
+            "trips": float(self.trips),
+            "probes": float(self.probes),
+            "open": 0.0 if self.state == CLOSED else 1.0,
+            "slow": 1.0 if self.slow else 0.0,
+        }
 
     # -- checkpoint ------------------------------------------------------
 
@@ -206,15 +234,21 @@ class HostBreaker:
 class BreakerBoard:
     """The registry of per-host breakers (one crawl's host table)."""
 
-    def __init__(self, policy: BreakerPolicy | None = None) -> None:
+    def __init__(self, policy: BreakerPolicy | None = None,
+                 obs=None) -> None:
         self.policy = policy or BreakerPolicy()
         self.policy.validate()
         self._hosts: dict[str, HostBreaker] = {}
+        self._on_transition = (
+            obs.breaker_transition if obs is not None else None
+        )
 
     def get(self, host: str) -> HostBreaker:
         breaker = self._hosts.get(host)
         if breaker is None:
-            breaker = HostBreaker(policy=self.policy)
+            breaker = HostBreaker(
+                policy=self.policy, on_transition=self._on_transition
+            )
             self._hosts[host] = breaker
         return breaker
 
@@ -248,6 +282,17 @@ class BreakerBoard:
     def slow_hosts(self) -> list[str]:
         return sorted(h for h, b in self._hosts.items() if b.slow)
 
+    def stats(self) -> dict[str, float]:
+        """Board-level counters (:class:`repro.obs.api.Instrumented`)."""
+        breakers = self._hosts.values()
+        return {
+            "hosts_tracked": float(len(self._hosts)),
+            "hosts_quarantined": float(sum(1 for b in breakers if b.bad)),
+            "hosts_slow": float(sum(1 for b in breakers if b.slow)),
+            "breaker_trips": float(sum(b.trips for b in breakers)),
+            "breaker_probes": float(sum(b.probes for b in breakers)),
+        }
+
     def to_dict(self) -> dict:
         return {host: breaker.to_dict() for host, breaker in self._hosts.items()}
 
@@ -256,3 +301,5 @@ class BreakerBoard:
             host: HostBreaker.from_dict(state, self.policy)
             for host, state in data.items()
         }
+        for breaker in self._hosts.values():
+            breaker.on_transition = self._on_transition

@@ -157,7 +157,11 @@ def save_checkpoint(crawler, stats, directory) -> pathlib.Path:
     if ctx.loader is not None:
         ctx.loader.flush_all()
         dump_database(ctx.loader.database, directory / _DB_SUBDIR)
-    return dump_state(snapshot_context(ctx, stats), directory, kind=_KIND)
+    path = dump_state(snapshot_context(ctx, stats), directory, kind=_KIND)
+    obs = getattr(ctx, "obs", None)
+    if obs is not None:
+        obs.registry.counter("robust_checkpoint_saves_total").inc()
+    return path
 
 
 def load_checkpoint(directory) -> dict:
@@ -223,6 +227,9 @@ def restore_context(ctx, source, restore_database: bool = True):
             if rows:
                 ctx.loader.database.table(name).bulk_insert(rows)
 
+    obs = getattr(ctx, "obs", None)
+    if obs is not None:
+        obs.registry.counter("robust_checkpoint_restores_total").inc()
     return _stats_from_dict(state["stats"])
 
 

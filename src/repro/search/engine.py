@@ -13,6 +13,7 @@ a linear sum with appropriate weights":
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass
 from collections.abc import Sequence
@@ -70,7 +71,19 @@ def _min_max_normalize(values: dict[int, float]) -> dict[int, float]:
 class LocalSearchEngine:
     """Filter + rank over the crawler's stored documents."""
 
-    def __init__(self, documents: Sequence[CrawledDocument]) -> None:
+    def __init__(self, documents: Sequence[CrawledDocument],
+                 obs=None) -> None:
+        self.obs = obs
+        """Optional :class:`repro.obs.Obs` bundle; queries then report
+        into the crawl's metrics registry as the ``search`` source."""
+        self.queries = 0
+        self.query_seconds = 0.0
+        """Wall-clock seconds spent in :meth:`search` (diagnostic only;
+        never fed back into the simulated clock or the registry
+        counters proper -- it surfaces through :meth:`stats`)."""
+        self.candidates_ranked = 0
+        if obs is not None:
+            obs.register_source("search", self)
         self.documents = list(documents)
         self.vectorizer = TfIdfVectorizer()
         for document in self.documents:
@@ -137,7 +150,9 @@ class LocalSearchEngine:
         """
         weights = weights or RankingWeights()
         weights.validate()
+        started = time.perf_counter()
         candidates = self.filter(topic, exact=exact)
+        self._note_query(len(candidates), started)
         if not candidates:
             return []
         query_vector = self._query_vector(query)
@@ -168,4 +183,31 @@ class LocalSearchEngine:
             for d in candidates
         ]
         hits_list.sort(key=lambda hit: (-hit.score, hit.document.doc_id))
+        self.query_seconds += time.perf_counter() - started
         return hits_list[:top_k]
+
+    def _note_query(self, candidates: int, started: float) -> None:
+        self.queries += 1
+        self.candidates_ranked += candidates
+        if candidates == 0:
+            # the early-return path still counts its (tiny) latency
+            self.query_seconds += time.perf_counter() - started
+        if self.obs is not None:
+            registry = self.obs.registry
+            registry.counter("search_queries_total").inc()
+            registry.counter("search_candidates_ranked_total").inc(candidates)
+
+    # -- observability ------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Query counters (:class:`repro.obs.api.Instrumented`).
+
+        ``query_seconds`` is wall-clock latency -- the one diagnostic
+        source stat that is not deterministic across machines.
+        """
+        return {
+            "queries": float(self.queries),
+            "query_seconds": float(self.query_seconds),
+            "candidates_ranked": float(self.candidates_ranked),
+            "documents_indexed": float(len(self.documents)),
+        }

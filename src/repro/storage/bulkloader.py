@@ -48,7 +48,8 @@ class Workspace:
 class BulkLoader:
     """Routes buffered rows into the database in batches."""
 
-    def __init__(self, database: Database, batch_size: int = 200) -> None:
+    def __init__(self, database: Database, batch_size: int = 200,
+                 obs=None) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.database = database
@@ -56,6 +57,9 @@ class BulkLoader:
         self._workspaces: dict[int, Workspace] = {}
         self.rows_loaded = 0
         self.flushes = 0
+        self.obs = obs
+        """Observability bundle (:class:`repro.obs.Obs`); set by
+        :meth:`CrawlContext.attach_loader` when the loader joins a crawl."""
 
     def workspace(self, thread_id: int) -> Workspace:
         """The (auto-created) workspace of one crawler thread."""
@@ -87,6 +91,14 @@ class BulkLoader:
             return
         self.rows_loaded += self.database.table(relation).bulk_insert(rows)
         self.flushes += 1
+        if self.obs is not None:
+            registry = self.obs.registry
+            registry.counter("storage_flushes_total").labels(
+                relation=relation
+            ).inc()
+            registry.counter("storage_rows_flushed_total").labels(
+                relation=relation
+            ).inc(len(rows))
 
     def flush_all(self) -> int:
         """Drain every workspace; returns the number of rows written."""
@@ -99,3 +111,12 @@ class BulkLoader:
     @property
     def pending(self) -> int:
         return sum(w.pending for w in self._workspaces.values())
+
+    def stats(self) -> dict[str, float]:
+        """Loader counters (:class:`repro.obs.api.Instrumented`)."""
+        return {
+            "rows_loaded": float(self.rows_loaded),
+            "flushes": float(self.flushes),
+            "pending_rows": float(self.pending),
+            "workspaces": float(len(self._workspaces)),
+        }

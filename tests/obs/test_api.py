@@ -1,0 +1,147 @@
+"""The typed hook API: legacy adapter parity, hook-exception isolation."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.crawler import SOFT, FocusedCrawler, PhaseSettings
+from repro.obs.api import (
+    StageEvent,
+    adapt_legacy_hook,
+    as_hook,
+    is_legacy_hook,
+)
+from repro.pipeline import STAGE_NAMES
+from repro.web import SyntheticWeb
+
+from tests.conftest import small_web_config
+from tests.core.conftest import fast_engine_config
+from tests.core.test_crawler import make_trained_classifier
+
+
+@pytest.fixture(scope="module")
+def web():
+    return SyntheticWeb.generate(small_web_config())
+
+
+def build_crawler(web, **overrides) -> FocusedCrawler:
+    config = fast_engine_config(max_retries=2, **overrides)
+    classifier = make_trained_classifier(web, config)
+    return FocusedCrawler(web, classifier, config)
+
+
+def run_phase(crawler, budget: int = 20):
+    crawler.seed(
+        crawler.web.seed_homepages(3), topic="ROOT/databases", priority=10.0
+    )
+    return crawler.crawl(
+        PhaseSettings(name="t", focus=SOFT, fetch_budget=budget)
+    )
+
+
+class TestSignatureDetection:
+    def test_legacy_four_arg_callables_are_detected(self) -> None:
+        assert is_legacy_hook(lambda a, b, c, d: None)
+
+        def named(stage, n_in, n_out, elapsed):
+            pass
+
+        assert is_legacy_hook(named)
+
+    def test_typed_hooks_are_not_adapted(self) -> None:
+        hook = lambda event: None  # noqa: E731
+        assert not is_legacy_hook(hook)
+        assert as_hook(hook) is hook
+
+    def test_adaptation_warns_deprecation(self) -> None:
+        with pytest.deprecated_call():
+            adapt_legacy_hook(lambda a, b, c, d: None)
+
+    def test_add_hook_warns_for_legacy_signatures(self, web) -> None:
+        crawler = build_crawler(web)
+        with pytest.deprecated_call():
+            crawler.pipeline.add_hook(lambda a, b, c, d: None)
+
+
+class TestLegacyAdapterParity:
+    def test_adapter_replays_the_positional_arguments(self) -> None:
+        calls: list[tuple] = []
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            adapter = adapt_legacy_hook(
+                lambda stage, n_in, n_out, elapsed: calls.append(
+                    (stage, n_in, n_out, elapsed)
+                )
+            )
+        event = StageEvent(
+            stage="classify", batch_index=7, in_size=8, out_size=6,
+            elapsed=0.25, extras={"accepted": 4},
+        )
+        adapter(event)
+        assert calls == [("classify", 8, 6, 0.25)]
+        assert adapter.__wrapped_legacy__ is not None
+
+    def test_legacy_and_typed_hooks_observe_identical_values(
+        self, web
+    ) -> None:
+        crawler = build_crawler(web)
+        legacy: list[tuple] = []
+        typed: list[tuple] = []
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            crawler.pipeline.add_hook(
+                lambda stage, n_in, n_out, elapsed: legacy.append(
+                    (stage, n_in, n_out)
+                )
+            )
+        crawler.pipeline.add_hook(
+            lambda event: typed.append(
+                (event.stage, event.in_size, event.out_size)
+            )
+        )
+        run_phase(crawler)
+        assert legacy, "hooks never fired"
+        assert legacy == typed
+
+    def test_typed_events_carry_batch_index_and_extras(self, web) -> None:
+        crawler = build_crawler(web, pipeline_batch_size=4)
+        events: list[StageEvent] = []
+        crawler.pipeline.add_hook(events.append)
+        run_phase(crawler)
+        assert {e.stage for e in events} == set(STAGE_NAMES)
+        indices = [e.batch_index for e in events]
+        assert indices == sorted(indices)
+        assert indices[-1] >= 1, "crawl never advanced past round 0"
+        accepted = sum(
+            e.extras["accepted"] for e in events if e.stage == "classify"
+        )
+        assert accepted == crawler.obs.registry.value(
+            "pipeline_docs_accepted_total"
+        )
+
+
+class TestHookExceptionIsolation:
+    def test_raising_hook_does_not_abort_the_crawl(self, web) -> None:
+        reference = run_phase(build_crawler(web))
+
+        crawler = build_crawler(web)
+
+        def explode(event) -> None:
+            raise RuntimeError("observability must never kill the crawl")
+
+        crawler.pipeline.add_hook(explode)
+        stats = run_phase(crawler)
+
+        assert stats.table1_row() == reference.table1_row()
+        errors = crawler.obs.registry.value("pipeline_hook_errors_total")
+        assert errors > 0
+        # one error per stage event delivered to the broken hook
+        batches = sum(
+            child
+            for child in crawler.obs.registry.snapshot()["counters"][
+                "pipeline_stage_batches_total"
+            ].values()
+        )
+        assert errors == batches

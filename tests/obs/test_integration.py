@@ -1,0 +1,96 @@
+"""End-to-end observability: one registry spans every subsystem, and
+instrumentation never changes a crawl outcome."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BingoConfig, BingoEngine
+from repro.obs.export import flatten_snapshot, parse_prometheus, to_prometheus
+from repro.search.engine import LocalSearchEngine
+from repro.web import SyntheticWeb
+
+from tests.conftest import small_web_config
+from tests.core.conftest import fast_engine_config
+
+
+def run_engine(instrumentation: bool = True) -> BingoEngine:
+    web = SyntheticWeb.generate(small_web_config())
+    config = fast_engine_config(instrumentation=instrumentation)
+    engine = BingoEngine.for_portal(web, config=config)
+    engine.run(harvesting_fetch_budget=120)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def engine() -> BingoEngine:
+    engine = run_engine()
+    search = LocalSearchEngine(engine.ctx.documents, obs=engine.obs)
+    search.search("database research", topic="ROOT/databases")
+    return engine
+
+
+class TestOneRegistrySpansTheRuntime:
+    def test_snapshot_covers_at_least_five_subsystems(self, engine) -> None:
+        snapshot = engine.obs.registry.snapshot()
+        assert set(snapshot["sources"]) >= {
+            "crawl", "engine", "perf", "robust", "search", "storage"
+        }
+        # live counters from the pipeline, robustness and search layers
+        assert "pipeline_stage_batches_total" in snapshot["counters"]
+        assert "perf_link_analysis_runs_total" in snapshot["counters"]
+        assert "search_queries_total" in snapshot["counters"]
+
+    def test_sources_report_real_activity(self, engine) -> None:
+        snapshot = engine.obs.registry.snapshot()
+        assert snapshot["sources"]["crawl"]["visited_urls"] > 0
+        assert snapshot["sources"]["storage"]["rows_loaded"] > 0
+        assert snapshot["sources"]["perf"]["kernel_batch_calls"] > 0
+        assert snapshot["sources"]["robust"]["hosts_tracked"] > 0
+        assert snapshot["sources"]["engine"]["retrainings"] > 0
+        assert snapshot["sources"]["search"]["queries"] == 1.0
+
+    def test_registry_agrees_with_the_stats_surfaces(self, engine) -> None:
+        snapshot = engine.obs.registry.snapshot()
+        assert snapshot["sources"]["storage"] == engine.loader.stats()
+        assert snapshot["sources"]["robust"] == engine.ctx.hosts.stats()
+        assert snapshot["sources"]["engine"] == engine.stats()
+        classify_batches = engine.obs.registry.value(
+            "pipeline_stage_batches_total", stage="classify"
+        )
+        assert classify_batches > 0
+
+    def test_snapshot_round_trips_through_both_exporters(
+        self, engine
+    ) -> None:
+        import json
+
+        registry = engine.obs.registry
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot, sort_keys=True)) == snapshot
+        assert parse_prometheus(to_prometheus(registry)) == flatten_snapshot(
+            snapshot
+        )
+
+    def test_snapshot_timestamp_is_simulated_time(self, engine) -> None:
+        assert engine.obs.registry.snapshot()["at"] == engine.ctx.clock.now
+
+
+class TestInstrumentationParity:
+    def test_obs_on_and_off_crawl_identically(self) -> None:
+        on = run_engine(instrumentation=True)
+        off = run_engine(instrumentation=False)
+        assert (
+            on.ctx.stats.table1_row() == off.ctx.stats.table1_row()
+        )
+        assert [d.final_url for d in on.ctx.documents] == [
+            d.final_url for d in off.ctx.documents
+        ]
+        assert on.ctx.clock.now == off.ctx.clock.now
+
+    def test_disabled_instrumentation_snapshots_empty(self) -> None:
+        engine = run_engine(instrumentation=False)
+        snapshot = engine.obs.registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["sources"] == {}
+        assert engine.obs.tracer.finished() == []

@@ -1,0 +1,135 @@
+"""Metrics registry: determinism, histogram bucket edges, disabled mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.registry import DEFAULT_BUCKETS, Histogram, format_float
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates_per_label_set(self) -> None:
+        registry = MetricsRegistry()
+        family = registry.counter("pipeline_stage_batches_total")
+        family.labels(stage="fetch").inc()
+        family.labels(stage="fetch").inc(2)
+        family.labels(stage="classify").inc()
+        assert registry.value(
+            "pipeline_stage_batches_total", stage="fetch"
+        ) == 3.0
+        assert registry.value(
+            "pipeline_stage_batches_total", stage="classify"
+        ) == 1.0
+        assert registry.value(
+            "pipeline_stage_batches_total", stage="persist"
+        ) == 0.0
+
+    def test_counter_rejects_negative_increment(self) -> None:
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c_total").inc(-1)
+
+    def test_gauge_sets_and_moves_both_ways(self) -> None:
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue_depth")
+        gauge.set(5)
+        gauge.inc(-2)
+        assert registry.value("queue_depth") == 3.0
+
+    def test_kind_conflict_is_rejected(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("metric_one")
+        with pytest.raises(ValueError):
+            registry.gauge("metric_one")
+
+    def test_names_must_be_snake_case(self) -> None:
+        registry = MetricsRegistry()
+        for bad in ("CamelCase", "has-dash", "9leading", "sp ace"):
+            with pytest.raises(ValueError):
+                registry.counter(bad)
+
+
+class TestHistogramBucketEdges:
+    def test_value_on_boundary_lands_in_that_bucket(self) -> None:
+        # prometheus `le` convention: v <= bound
+        histogram = Histogram((1.0, 2.0, 4.0))
+        for value in (1.0, 2.0, 4.0, 0.5, 3.0, 9.0):
+            histogram.observe(value)
+        cumulative = dict(histogram.cumulative())
+        assert cumulative["1"] == 2  # 0.5, 1.0
+        assert cumulative["2"] == 3  # + 2.0
+        assert cumulative["4"] == 5  # + 3.0, 4.0
+        assert cumulative["+Inf"] == 6  # + 9.0
+        assert histogram.count == 6
+        assert histogram.sum == pytest.approx(19.5)
+
+    def test_cumulative_counts_are_monotone(self) -> None:
+        histogram = Histogram(DEFAULT_BUCKETS)
+        for value in range(100):
+            histogram.observe(float(value))
+        counts = [count for _le, count in histogram.cumulative()]
+        assert counts == sorted(counts)
+        assert counts[-1] == 100
+
+    def test_boundaries_must_increase(self) -> None:
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(())
+
+
+class TestDeterminism:
+    def run_workload(self) -> dict:
+        """The same fixed-clock workload, reproduced exactly."""
+        tick = iter(range(1000))
+        registry = MetricsRegistry(clock=lambda: float(next(tick)))
+        for stage in ("admit", "fetch", "classify") * 5:
+            registry.counter("stage_batches_total").labels(stage=stage).inc()
+        histogram = registry.histogram("batch_docs")
+        for size in (1, 3, 8, 8, 64, 200):
+            histogram.observe(size)
+        registry.gauge("frontier_depth").set(42)
+        registry.register_source(
+            "robust", lambda: {"hosts_tracked": 7.0, "breaker_trips": 2.0}
+        )
+        return registry.snapshot()
+
+    def test_identical_runs_snapshot_identically(self) -> None:
+        assert self.run_workload() == self.run_workload()
+
+    def test_snapshot_timestamp_comes_from_the_clock(self) -> None:
+        registry = MetricsRegistry(clock=lambda: 123.5)
+        assert registry.snapshot()["at"] == 123.5
+
+    def test_source_keys_are_validated_snake_case(self) -> None:
+        registry = MetricsRegistry()
+        registry.register_source("bad", lambda: {"Not-Snake": 1.0})
+        with pytest.raises(ValueError):
+            registry.snapshot()
+
+
+class TestDisabledRegistry:
+    def test_every_operation_is_a_noop(self) -> None:
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c_total").labels(stage="fetch").inc()
+        registry.gauge("g").set(9)
+        registry.histogram("h").observe(3)
+        registry.register_source("src", lambda: {"k": 1.0})
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}
+        assert snapshot["sources"] == {}
+        assert registry.value("c_total", stage="fetch") == 0.0
+
+
+class TestFormatFloat:
+    def test_integers_render_without_decimal_point(self) -> None:
+        assert format_float(3.0) == "3"
+        assert format_float(0.0) == "0"
+
+    def test_fractions_round_trip(self) -> None:
+        assert float(format_float(2.5)) == 2.5

@@ -62,8 +62,8 @@ class TestStageHooks:
         crawler = build_crawler(web)
         events: list[tuple[str, int, int, float]] = []
         crawler.pipeline.add_hook(
-            lambda name, n_in, n_out, elapsed: events.append(
-                (name, n_in, n_out, elapsed)
+            lambda event: events.append(
+                (event.stage, event.in_size, event.out_size, event.elapsed)
             )
         )
         crawler.seed(
@@ -91,8 +91,8 @@ class TestStageHooks:
         crawler = build_crawler(web, pipeline_batch_size=8)
         sizes: list[int] = []
         crawler.pipeline.add_hook(
-            lambda name, n_in, n_out, elapsed:
-            sizes.append(n_in) if name == "classify" else None
+            lambda event:
+            sizes.append(event.in_size) if event.stage == "classify" else None
         )
         crawler.seed(
             web.seed_homepages(10), topic="ROOT/databases", priority=10.0
