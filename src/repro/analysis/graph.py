@@ -72,9 +72,9 @@ class LinkGraph:
         """The induced subgraph over ``nodes``."""
         keep = set(nodes)
         sub = LinkGraph()
-        for node in keep:
+        for node in sorted(keep, key=repr):
             sub.add_node(node, self.hosts.get(node))
-        for node in keep:
+        for node in sorted(keep, key=repr):
             for target in self.successors.get(node, ()):
                 if target in keep:
                     sub.add_edge(node, target)
@@ -96,14 +96,14 @@ def expand_base_set(
     documents").
     """
     result: set[Node] = set(base)
-    for node in list(result):
+    for node in sorted(result, key=repr):
         if len(result) >= max_total:
             break
         for successor in successors_of(node):
             result.add(successor)
             if len(result) >= max_total:
                 break
-    for node in list(result):
+    for node in sorted(result, key=repr):
         if len(result) >= max_total:
             break
         added = 0

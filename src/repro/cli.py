@@ -8,6 +8,10 @@ Four subcommands mirror the repository's deliverables::
     python -m repro.cli ablate  --which focus archetypes negatives features
 
 Every run is deterministic given its ``--seed``.
+
+Exit codes follow the repository-wide contract shared with
+``python -m repro.lint``: 0 on success, 1 when the run itself fails
+(any :class:`~repro.errors.ReproError`), 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -15,6 +19,8 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+
+from repro.errors import ReproError
 
 __all__ = ["build_parser", "main"]
 
@@ -148,14 +154,21 @@ def _cmd_ablate(args) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:  # argparse exits 2 on usage, 0 on --help
+        return 0 if exc.code in (0, None) else 2
     commands = {
         "portal": _cmd_portal,
         "expert": _cmd_expert,
         "crawl": _cmd_crawl,
         "ablate": _cmd_ablate,
     }
-    return commands[args.command](args)
+    try:
+        return commands[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -316,10 +316,10 @@ class BingoEngine:
                 continue
             if any(url in base_urls for url in doc.out_urls):
                 members.add(doc.doc_id)
-        for doc_id in members:
+        for doc_id in sorted(members):
             doc = self.ctx.documents[doc_id]
             graph.add_node(doc_id, host=doc.host)
-        for doc_id in members:
+        for doc_id in sorted(members):
             doc = self.ctx.documents[doc_id]
             for url in doc.out_urls:
                 target = url_to_doc.get(url)

@@ -1,0 +1,133 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline entry matches findings by ``(rule, path, message)`` --
+deliberately *not* by line number, so unrelated edits above a
+grandfathered site do not resurrect it -- and caps how many matching
+findings it absorbs via ``count``.  Every entry carries a
+``justification`` string; the CLI refuses nothing, but review does:
+the acceptance bar for this repository is a baseline that is empty or
+contains only explicitly justified entries.
+
+The file format is deterministic JSON (sorted entries, two-space
+indent, trailing newline) so diffs stay reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+__all__ = ["DEFAULT_BASELINE_NAME", "Baseline", "BaselineEntry"]
+
+DEFAULT_BASELINE_NAME = ".bingolint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class BaselineEntry:
+    """One grandfathered finding family."""
+
+    rule: str
+    path: str
+    message: str
+    count: int = 1
+    justification: str = "TODO: justify or fix"
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "message": self.message,
+            "count": self.count,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """A set of grandfathered findings, loadable and saveable."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None) -> None:
+        self.entries: list[BaselineEntry] = sorted(entries or [])
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], justification: str = "grandfathered"
+    ) -> "Baseline":
+        counts: dict[tuple[str, str, str], int] = {}
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.message)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(
+            [
+                BaselineEntry(
+                    rule=rule,
+                    path=path,
+                    message=message,
+                    count=count,
+                    justification=justification,
+                )
+                for (rule, path, message), count in counts.items()
+            ]
+        )
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path}"
+            )
+        entries = [
+            BaselineEntry(
+                rule=str(entry["rule"]),
+                path=str(entry["path"]),
+                message=str(entry["message"]),
+                count=int(entry.get("count", 1)),
+                justification=str(entry.get("justification", "")),
+            )
+            for entry in data.get("entries", [])
+        ]
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [entry.to_dict() for entry in sorted(self.entries)],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    # -- filtering -------------------------------------------------------
+
+    def filter(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Split findings into ``(new, grandfathered)``.
+
+        Each entry absorbs at most ``count`` findings with its exact
+        ``(rule, path, message)``; anything beyond that budget -- or
+        not in the baseline at all -- is new.
+        """
+        budgets = {entry.key(): entry.count for entry in self.entries}
+        new: list[Finding] = []
+        grandfathered: list[Finding] = []
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.message)
+            if budgets.get(key, 0) > 0:
+                budgets[key] -= 1
+                grandfathered.append(finding)
+            else:
+                new.append(finding)
+        return new, grandfathered

@@ -1,0 +1,40 @@
+"""The finding record emitted by every lint rule.
+
+Field order matters: ``order=True`` makes findings sort by
+``(path, line, col, rule, message)``, which is the canonical report
+order -- reporters never re-sort by anything else, so two runs over
+the same tree always render byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    """Display path of the offending file (posix separators)."""
+    line: int
+    col: int
+    rule: str
+    """Rule identifier, e.g. ``no-wall-clock``."""
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (stable key order)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line:col: rule message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

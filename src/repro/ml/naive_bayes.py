@@ -67,7 +67,7 @@ class NaiveBayesClassifier(BinaryClassifier):
         denom_pos = totals[1] + self.smoothing * v
         denom_neg = totals[-1] + self.smoothing * v
         self._log_likelihood = {}
-        for feature in vocabulary:
+        for feature in sorted(vocabulary):
             log_p = math.log(
                 (counts[1][feature] + self.smoothing) / denom_pos
             )

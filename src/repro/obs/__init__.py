@@ -32,7 +32,7 @@ on every Table-1 counter to the same run with it on.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Mapping
 
 from repro.obs.api import (
     Hook,
@@ -91,7 +91,11 @@ class Obs:
         self.registry = MetricsRegistry(clock=clock, enabled=enabled)
         self.tracer = Tracer(clock=clock, maxlen=trace_ring, enabled=enabled)
 
-    def register_source(self, name: str, source) -> None:
+    def register_source(
+        self,
+        name: str,
+        source: Instrumented | Callable[[], Mapping[str, float]],
+    ) -> None:
         self.registry.register_source(name, source)
 
     # -- pipeline --------------------------------------------------------

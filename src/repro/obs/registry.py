@@ -236,7 +236,11 @@ class MetricsRegistry:
 
     # -- stats sources ---------------------------------------------------
 
-    def register_source(self, name: str, source) -> None:
+    def register_source(
+        self,
+        name: str,
+        source: "Instrumented | Callable[[], Mapping[str, float]]",
+    ) -> None:
         """Merge ``source.stats()`` (or ``source()``) into every snapshot.
 
         Re-registering a name replaces the previous source, so a facade

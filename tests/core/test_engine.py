@@ -34,7 +34,7 @@ class TestPortalEngine:
             for urls in engine.seeds.values()
             for url in urls
         }
-        seed_domains = {".".join(h.split(".")[-2:]) for h in seed_hosts}
+        seed_domains = {".".join(h.split(".")[-2:]) for h in sorted(seed_hosts)}
         for host in learning.stats.hosts_visited:
             assert ".".join(host.split(".")[-2:]) in seed_domains
 

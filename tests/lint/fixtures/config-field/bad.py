@@ -1,0 +1,9 @@
+"""Fixture: reads of undeclared BingoConfig fields."""
+
+
+def run(config: "BingoConfig") -> int:
+    return config.crawler_treads
+
+
+def batch(ctx) -> int:
+    return ctx.config.pipeline_batchsize

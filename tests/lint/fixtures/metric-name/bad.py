@@ -1,0 +1,8 @@
+"""Fixture: metric families violating the naming conventions."""
+
+
+def wire(registry):
+    registry.counter("crawl_docs")
+    registry.counter("Crawl-Docs_total")
+    registry.histogram("fetch_seconds_total")
+    registry.gauge("depth_total")

@@ -1,0 +1,7 @@
+"""Fixture: conforming metric names."""
+
+
+def wire(registry):
+    registry.counter("crawl_docs_total").inc()
+    registry.histogram("fetch_seconds").observe(0.1)
+    registry.gauge("queue_depth").set(3)

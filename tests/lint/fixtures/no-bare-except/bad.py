@@ -1,0 +1,8 @@
+"""Fixture: a bare except clause."""
+
+
+def guard(action):
+    try:
+        return action()
+    except:
+        return None

@@ -1,0 +1,8 @@
+"""Fixture: named exception types."""
+
+
+def guard(action):
+    try:
+        return action()
+    except ValueError:
+        return None

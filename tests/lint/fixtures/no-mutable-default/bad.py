@@ -1,0 +1,9 @@
+"""Fixture: mutable default argument values."""
+
+
+def merge(extra=[], table={}, tags=set()):
+    return extra, table, tags
+
+
+def consume(queue=dict()):
+    return queue

@@ -1,0 +1,9 @@
+"""Fixture: None defaults with construction inside the body."""
+
+
+def merge(extra=None, table=None):
+    return list(extra or ()), dict(table or {})
+
+
+def scale(factor=1.0, label=""):
+    return factor, label

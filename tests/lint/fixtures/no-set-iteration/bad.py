@@ -1,0 +1,19 @@
+"""Fixture: order-unstable set iteration."""
+
+
+def emit(items):
+    out = []
+    for item in set(items):
+        out.append(item)
+    return out
+
+
+def caps(tags):
+    seen = {tag.lower() for tag in tags}
+    return [tag for tag in seen]
+
+
+def snapshot(ids):
+    pending: set[int] = set(ids)
+    for item in list(pending):
+        pending.discard(item)

@@ -1,0 +1,15 @@
+"""Fixture: sorted() restores a total order before iterating."""
+
+
+def emit(items):
+    return [item for item in sorted(set(items))]
+
+
+def snapshot(ids):
+    pending: set[int] = set(ids)
+    return sorted(pending)
+
+
+def membership(ids, probe):
+    lookup = set(ids)
+    return probe in lookup

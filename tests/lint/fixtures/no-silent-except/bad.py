@@ -1,0 +1,8 @@
+"""Fixture: an exception swallowed without a trace."""
+
+
+def ignore(hook):
+    try:
+        hook()
+    except ValueError:
+        pass

@@ -1,0 +1,8 @@
+"""Fixture: absorbed failures stay visible in a counter."""
+
+
+def count(hook, stats):
+    try:
+        hook()
+    except ValueError:
+        stats["hook_errors_total"] = stats.get("hook_errors_total", 0) + 1

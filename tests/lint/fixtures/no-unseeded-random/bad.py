@@ -1,0 +1,14 @@
+"""Fixture: process-global / unseeded randomness."""
+import random
+
+import numpy as np
+
+
+def draw(items):
+    rng = np.random.default_rng()
+    np.random.shuffle(items)
+    return random.choice(items), rng
+
+
+def source():
+    return random.Random()

@@ -1,0 +1,11 @@
+"""Fixture: seeded generators threaded from config."""
+import numpy as np
+
+
+def draw(items, seed: int):
+    rng = np.random.default_rng(seed)
+    return rng.choice(items)
+
+
+def fork(seed: int):
+    return np.random.default_rng(seed * 7919 + 1)

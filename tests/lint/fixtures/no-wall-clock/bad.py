@@ -1,0 +1,16 @@
+"""Fixture: wall-clock reads outside repro.web.clock."""
+import time
+from datetime import datetime
+from time import monotonic
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def when():
+    return datetime.now()
+
+
+def tick() -> float:
+    return monotonic()

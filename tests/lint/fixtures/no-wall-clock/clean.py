@@ -1,0 +1,10 @@
+"""Fixture: benchmark timing and simulated time are allowed."""
+import time
+
+
+def measure() -> float:
+    return time.perf_counter()
+
+
+def at(clock) -> float:
+    return clock.now

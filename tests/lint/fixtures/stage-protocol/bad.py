@@ -1,0 +1,20 @@
+"""Fixture: stage classes breaking the Stage protocol."""
+
+
+class RenameStage:
+    name = "Rename-Stage"
+
+    def run(self, batch, ctx):
+        return batch
+
+
+class DropStage:
+    def execute(self, batch):
+        return batch
+
+
+class SwappedStage:
+    name = "swapped"
+
+    def run(self, ctx, batch):
+        return batch

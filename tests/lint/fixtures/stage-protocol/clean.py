@@ -1,0 +1,16 @@
+"""Fixture: conforming stages (and the exempt Protocol itself)."""
+from typing import Protocol
+
+
+class AbstractStage(Protocol):
+    name: str
+
+    def run(self, batch, ctx):
+        ...
+
+
+class KeepStage:
+    name = "keep"
+
+    def run(self, batch, ctx):
+        return batch

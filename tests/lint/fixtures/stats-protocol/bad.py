@@ -1,0 +1,11 @@
+"""Fixture: stats() breaking the Instrumented protocol."""
+
+
+class Loader:
+    def stats(self):
+        return ["flushes", 3]
+
+
+class Cache:
+    def stats(self):
+        return {"hitRate": 0.5, "misses_total": 2.0}

@@ -1,0 +1,11 @@
+"""Fixture: conforming stats() methods."""
+
+
+class Cache:
+    def stats(self) -> dict[str, float]:
+        return {"hits_total": 1.0, "miss_ratio": 0.25}
+
+
+class Loader:
+    def stats(self) -> dict[str, float]:
+        return dict(rows_flushed_total=4.0)

@@ -1,0 +1,86 @@
+"""Baseline round-trip, budgeted matching and line-drift tolerance."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.findings import Finding
+
+
+def _finding(
+    path: str = "src/x.py", line: int = 5, rule: str = "no-wall-clock",
+    message: str = "wall-clock call",
+) -> Finding:
+    return Finding(path=path, line=line, col=0, rule=rule, message=message)
+
+
+class TestRoundTrip:
+    def test_save_load_filter_absorbs_everything(self, tmp_path) -> None:
+        findings = [_finding(), _finding(line=9), _finding(rule="no-bare-except")]
+        baseline = Baseline.from_findings(findings)
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        loaded = Baseline.load(target)
+        new, grandfathered = loaded.filter(findings)
+        assert new == []
+        assert len(grandfathered) == 3
+
+    def test_saved_file_is_deterministic(self, tmp_path) -> None:
+        findings = [_finding(line=9), _finding()]
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        Baseline.from_findings(findings).save(first)
+        Baseline.from_findings(list(reversed(findings))).save(second)
+        assert first.read_text() == second.read_text()
+
+    def test_justification_survives_round_trip(self, tmp_path) -> None:
+        entry = BaselineEntry(
+            rule="no-wall-clock", path="src/x.py", message="m",
+            justification="benchmark timing, documented in DESIGN.md",
+        )
+        target = tmp_path / "baseline.json"
+        Baseline([entry]).save(target)
+        assert Baseline.load(target).entries[0].justification == (
+            "benchmark timing, documented in DESIGN.md"
+        )
+
+    def test_unknown_version_is_rejected(self, tmp_path) -> None:
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(target)
+
+
+class TestMatching:
+    def test_line_drift_does_not_resurrect_findings(self) -> None:
+        baseline = Baseline.from_findings([_finding(line=5)])
+        moved = _finding(line=123)  # code above it changed
+        new, grandfathered = baseline.filter([moved])
+        assert new == []
+        assert grandfathered == [moved]
+
+    def test_count_budget_caps_absorption(self) -> None:
+        baseline = Baseline.from_findings([_finding(line=1)])
+        new, grandfathered = baseline.filter(
+            [_finding(line=1), _finding(line=2)]
+        )
+        assert len(grandfathered) == 1
+        assert len(new) == 1
+
+    def test_duplicate_findings_merge_into_one_counted_entry(self) -> None:
+        baseline = Baseline.from_findings([_finding(line=1), _finding(line=2)])
+        assert len(baseline.entries) == 1
+        assert baseline.entries[0].count == 2
+
+    def test_different_rule_or_path_never_matches(self) -> None:
+        baseline = Baseline.from_findings([_finding()])
+        strangers = [
+            _finding(rule="no-bare-except"),
+            _finding(path="src/y.py"),
+            _finding(message="different words"),
+        ]
+        new, grandfathered = baseline.filter(strangers)
+        assert grandfathered == []
+        assert len(new) == 3

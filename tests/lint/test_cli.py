@@ -1,0 +1,125 @@
+"""CLI contract: exit codes, formats, baseline flags, rule selection."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.cli import main
+from repro.lint.registry import rule_ids
+
+from tests.lint.conftest import FIXTURES
+
+BAD = str(FIXTURES / "no-wall-clock" / "bad.py")
+CLEAN = str(FIXTURES / "no-wall-clock" / "clean.py")
+
+
+class TestExitCodes:
+    def test_clean_exits_zero(self, capsys) -> None:
+        assert main([CLEAN]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys) -> None:
+        assert main([BAD]) == 1
+        assert "no-wall-clock" in capsys.readouterr().out
+
+    def test_missing_path_is_usage_error(self, capsys) -> None:
+        assert main(["does/not/exist"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_unknown_rule_is_usage_error(self, capsys) -> None:
+        assert main([CLEAN, "--select", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_bad_flag_is_usage_error(self, capsys) -> None:
+        assert main(["--format", "yaml", CLEAN]) == 2
+
+    def test_help_exits_zero(self, capsys) -> None:
+        assert main(["--help"]) == 0
+
+
+class TestReportFormats:
+    def test_json_format_parses_and_is_sorted(self, capsys) -> None:
+        assert main([BAD, "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["summary"]["total"] == len(report["findings"]) > 0
+        locations = [
+            (f["path"], f["line"], f["col"]) for f in report["findings"]
+        ]
+        assert locations == sorted(locations)
+
+    def test_text_format_lines_are_clickable(self, capsys) -> None:
+        main([BAD])
+        first = capsys.readouterr().out.splitlines()[0]
+        path, line, col, _rest = first.split(":", 3)
+        assert path.endswith("bad.py")
+        assert line.isdigit() and col.isdigit()
+
+    def test_list_rules(self, capsys) -> None:
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in rule_ids():
+            assert rule_id in out
+
+
+class TestRuleSelection:
+    def test_select_narrows_to_one_rule(self, capsys) -> None:
+        bad = str(FIXTURES / "no-mutable-default" / "bad.py")
+        assert main([bad, BAD, "--select", "no-wall-clock"]) == 1
+        out = capsys.readouterr().out
+        assert "no-wall-clock" in out
+        assert "no-mutable-default" not in out
+
+    def test_ignore_drops_a_rule(self, capsys) -> None:
+        assert main([BAD, "--ignore", "no-wall-clock"]) == 0
+
+
+class TestBaselineFlags:
+    def test_write_baseline_then_clean_run(self, tmp_path, capsys) -> None:
+        baseline = tmp_path / "baseline.json"
+        assert main([BAD, "--baseline", str(baseline), "--write-baseline"]) == 0
+        assert baseline.is_file()
+        assert main([BAD, "--baseline", str(baseline)]) == 0
+        assert "baselined" in capsys.readouterr().out
+
+    def test_no_baseline_overrides_file(self, tmp_path) -> None:
+        baseline = tmp_path / "baseline.json"
+        main([BAD, "--baseline", str(baseline), "--write-baseline"])
+        assert main([BAD, "--baseline", str(baseline), "--no-baseline"]) == 1
+
+    def test_new_findings_escape_the_baseline(self, tmp_path) -> None:
+        baseline = tmp_path / "baseline.json"
+        main([CLEAN, "--baseline", str(baseline), "--write-baseline"])
+        assert main([BAD, "--baseline", str(baseline)]) == 1
+
+    def test_corrupt_baseline_is_usage_error(self, tmp_path, capsys) -> None:
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"version": 42}')
+        assert main([BAD, "--baseline", str(baseline)]) == 2
+        assert "bad baseline" in capsys.readouterr().err
+
+
+class TestRepositoryIsClean:
+    """The acceptance criterion, as a test: the tree lints clean."""
+
+    def test_src_lints_clean(self) -> None:
+        assert main(["src", "--no-baseline"]) == 0
+
+    def test_tests_and_examples_lint_clean(self) -> None:
+        assert main(["tests", "examples", "benchmarks", "--no-baseline"]) == 0
+
+    def test_no_suppressions_in_contract_packages(self) -> None:
+        from repro.lint.engine import _collect_suppressions
+
+        # the determinism contract's own packages may not opt out of it
+        for package in ("lint", "obs", "pipeline", "robust"):
+            for path in Path("src/repro", package).rglob("*.py"):
+                assert _collect_suppressions(path.read_text()) == {}, path
+
+    def test_committed_baseline_is_empty_or_justified(self) -> None:
+        baseline = Path(".bingolint-baseline.json")
+        assert baseline.is_file(), "commit an (empty) baseline file"
+        data = json.loads(baseline.read_text())
+        for entry in data["entries"]:
+            justification = entry.get("justification", "")
+            assert justification and "TODO" not in justification, entry

@@ -39,7 +39,9 @@ class TestCountersAndGauges:
 
     def test_kind_conflict_is_rejected(self) -> None:
         registry = MetricsRegistry()
-        registry.counter("metric_one")
+        # the kind-conflict probe must reuse one name for both kinds,
+        # which necessarily breaks the suffix convention for one of them
+        registry.counter("metric_one")  # bingolint: disable=metric-name
         with pytest.raises(ValueError):
             registry.gauge("metric_one")
 

@@ -161,7 +161,7 @@ class TestWorkspaceSharding:
         used = set(loader._workspaces)
         assert used
         assert all(
-            0 <= ws < config.crawler_threads for ws in used
+            0 <= ws < config.crawler_threads for ws in sorted(used)
         )
 
 

@@ -60,3 +60,33 @@ class TestCrawlCommand:
         out = capsys.readouterr().out
         assert "Figure 4" in out
         assert "Figure 5" in out
+
+
+class TestExitCodeContract:
+    """0 success / 1 run failure / 2 usage -- shared with repro.lint."""
+
+    def test_usage_error_returns_two(self, capsys) -> None:
+        assert main([]) == 2
+        assert main(["no-such-command"]) == 2
+        assert main(["crawl", "--budget", "not-a-number"]) == 2
+
+    def test_help_returns_zero(self, capsys) -> None:
+        assert main(["--help"]) == 0
+
+    def test_repro_error_returns_one(self, capsys) -> None:
+        # an unknown topic surfaces as a ReproError, not a traceback
+        code = main(["crawl", "--budget", "5", "--topic", "no-such-topic"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_lint_cli_shares_the_contract(self, tmp_path, capsys) -> None:
+        from repro.lint.cli import main as lint_main
+
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        assert lint_main([str(clean)]) == 0
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nNOW = time.time()\n")
+        assert lint_main([str(bad), "--no-baseline"]) == 1
+        assert lint_main(["--format", "nope"]) == 2
+        capsys.readouterr()
