@@ -1,15 +1,25 @@
 """Standalone staged-pipeline benchmark runner (used by the CI smoke job).
 
 Writes ``benchmarks/results/BENCH_pipeline.json`` and, with ``--check``,
-compares the measured *speedup ratio* against a committed baseline:
+gates four quantities against a committed baseline:
 
     PYTHONPATH=src:. python benchmarks/run_pipeline.py \
         --check benchmarks/results/BENCH_pipeline.json --max-regression 0.30
 
-The checked ratio is per-document commit time per page divided by
-micro-batched commit time per page on the same machine, so the check is
-machine-independent; a run regresses when the ratio falls more than
-``--max-regression`` below the baseline ratio.
+* the micro-batching *speedup ratio* (per-document commit time per page
+  / micro-batched commit time per page) -- machine-independent;
+* the convert-substrate *speedup ratio* (frozen reference analyzer /
+  single-pass scanner, from ``bench_convert``) -- machine-independent;
+* ``batched_pages_per_s`` against the baseline's absolute floor (with
+  the same fractional tolerance; machine-dependent, so the tolerance is
+  deliberately generous);
+* the convert stage's share of per-stage wall time, against an absolute
+  ceiling (``--max-convert-share``, default 0.35) -- a share is a ratio
+  within one run, so it transfers across machines.  Skipped under
+  ``--skip-breakdown``.
+
+A run regresses when a ratio falls more than ``--max-regression`` below
+its baseline, or the convert share exceeds the ceiling.
 """
 
 from __future__ import annotations
@@ -29,11 +39,18 @@ DEFAULT_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_pipeline.json"
 #: (json section, human name) pairs whose ``speedup`` field is checked
 CHECKED_SECTIONS = [
     ("crawl", "micro-batched crawl"),
+    ("convert", "convert substrate (scanner vs reference)"),
 ]
+
+#: absolute ceiling on the convert stage's wall-time share; the whole
+#: point of the single-pass substrate was to knock convert off the top
+#: of the Amdahl profile (it sat at 0.758 before the rewrite)
+DEFAULT_MAX_CONVERT_SHARE = 0.35
 
 
 def check_regression(
-    current: dict, baseline: dict, max_regression: float
+    current: dict, baseline: dict, max_regression: float,
+    max_convert_share: float = DEFAULT_MAX_CONVERT_SHARE,
 ) -> list[str]:
     """Human-readable failure lines (empty list = no regression)."""
     failures = []
@@ -48,6 +65,25 @@ def check_regression(
                 f"{label}: speedup {new:.2f}x fell below {floor:.2f}x "
                 f"(baseline {old:.2f}x - {max_regression:.0%} tolerance)"
             )
+
+    old_rate = baseline.get("crawl", {}).get("batched_pages_per_s")
+    if old_rate is not None:
+        new_rate = current.get("crawl", {}).get("batched_pages_per_s", 0.0)
+        rate_floor = old_rate * (1.0 - max_regression)
+        if new_rate < rate_floor:
+            failures.append(
+                f"micro-batched crawl: {new_rate:.1f} pages/s fell below "
+                f"{rate_floor:.1f} (baseline {old_rate:.1f} - "
+                f"{max_regression:.0%} tolerance)"
+            )
+
+    stages = current.get("stage_breakdown", {}).get("stages", {})
+    share = stages.get("convert", {}).get("share")
+    if share is not None and share > max_convert_share:
+        failures.append(
+            f"convert stage: wall-time share {share:.3f} exceeds the "
+            f"{max_convert_share:.2f} ceiling (Amdahl bottleneck is back)"
+        )
     return failures
 
 
@@ -66,8 +102,15 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed fractional drop of the speedup ratio (default 0.30)",
     )
     parser.add_argument(
+        "--max-convert-share", type=float,
+        default=DEFAULT_MAX_CONVERT_SHARE,
+        help="ceiling on the convert stage's wall-time share "
+             f"(default {DEFAULT_MAX_CONVERT_SHARE})",
+    )
+    parser.add_argument(
         "--skip-breakdown", action="store_true",
-        help="skip the per-stage wall-time breakdown (CI smoke mode)",
+        help="skip the per-stage wall-time breakdown (and with it the "
+             "convert-share gate)",
     )
     args = parser.parse_args(argv)
 
@@ -86,7 +129,10 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\nwrote {args.out}")
 
     if baseline is not None:
-        failures = check_regression(results, baseline, args.max_regression)
+        failures = check_regression(
+            results, baseline, args.max_regression,
+            args.max_convert_share,
+        )
         if failures:
             print("\nREGRESSION:", file=sys.stderr)
             for line in failures:

@@ -298,6 +298,45 @@ class HierarchicalClassifier:
             for space in self.spaces
         }
 
+    def vectorize_many(
+        self, docs: Sequence[TrainingDoc]
+    ) -> list[dict[str, SparseVector]]:
+        """Per-space tf*idf vectors for a whole batch, in one wave.
+
+        Cache hits are served per document; the misses are vectorized
+        together through :func:`repro.perf.text.vectorize_batch`, which
+        shares the idf gather and log-tf table across the batch.  Rows
+        are bit-identical to :meth:`vectorize` (batch-invariance is
+        pinned by tests), so mixing the two paths is safe.
+        """
+        from repro.perf.text import vectorize_batch
+
+        key = self._snapshot_key()
+        cache = self._vector_cache
+        bundles: list[dict[str, SparseVector] | None] = [None] * len(docs)
+        miss_indices: list[int] = []
+        for i, doc in enumerate(docs):
+            cached = cache.get(doc, key)
+            if cached is None:
+                miss_indices.append(i)
+            else:
+                bundles[i] = cached
+        if miss_indices:
+            rows_by_space = {
+                space: vectorize_batch(
+                    self.vectorizers[space],
+                    [docs[i].get(space) or {} for i in miss_indices],
+                )
+                for space in self.spaces
+            }
+            for j, i in enumerate(miss_indices):
+                bundle = {
+                    space: rows_by_space[space][j] for space in self.spaces
+                }
+                cache.put(docs[i], key, bundle)
+                bundles[i] = bundle
+        return bundles  # type: ignore[return-value]
+
     # -- training ------------------------------------------------------------
 
     def train(self, training: TrainingSet) -> None:
@@ -490,7 +529,7 @@ class HierarchicalClassifier:
         if kernel is None:
             return [self.classify_reference(doc, mode) for doc in docs]
         threshold = self.config.acceptance_threshold
-        bundles = [self.vectorize(doc) for doc in docs]
+        bundles = self.vectorize_many(docs)
         return [
             ClassificationResult(topic=topic, confidence=confidence, path=path)
             for topic, confidence, path in kernel.classify_many(
@@ -566,7 +605,7 @@ class HierarchicalClassifier:
             raise TrainingError(f"no trained model for topic {topic!r}")
         kernel = self._kernel()
         threshold = self.config.acceptance_threshold
-        bundles = [self.vectorize(doc) for doc in docs]
+        bundles = self.vectorize_many(docs)
         if kernel is not None:
             return [
                 confidence

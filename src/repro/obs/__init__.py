@@ -50,7 +50,7 @@ from repro.obs.export import (
     to_prometheus,
     write_metrics,
 )
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import Histogram, MetricsRegistry
 from repro.obs.tracing import Span, Tracer
 
 __all__ = [
@@ -64,6 +64,7 @@ __all__ = [
     "Tracer",
     "Span",
     "Obs",
+    "WALL_SECONDS_BUCKETS",
     "ProgressReporter",
     "to_prometheus",
     "parse_prometheus",
@@ -71,6 +72,12 @@ __all__ = [
     "from_json",
     "write_metrics",
 ]
+
+
+#: wall-time histogram boundaries (seconds per stage batch)
+WALL_SECONDS_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+)
 
 
 class Obs:
@@ -90,6 +97,14 @@ class Obs:
         self.enabled = enabled
         self.registry = MetricsRegistry(clock=clock, enabled=enabled)
         self.tracer = Tracer(clock=clock, maxlen=trace_ring, enabled=enabled)
+        self.wall_stage_seconds: dict[str, Histogram] = {}
+        """Per-stage histograms of *wall-clock* batch durations.
+
+        Deliberately kept OUTSIDE the registry: ``snapshot()`` must stay
+        bit-identical across identical runs, and wall time never is.
+        This sidecar exists for perf triage (the pipeline benchmark's
+        stage breakdown reads the same events) and is exported by no
+        snapshot/Prometheus path."""
 
     def register_source(
         self,
@@ -103,11 +118,17 @@ class Obs:
     def record_stage_event(self, event: StageEvent) -> None:
         """Charge one stage invocation's deterministic counters.
 
-        ``event.elapsed`` (wall time) is deliberately *not* recorded --
-        the registry stays bit-identical across runs.
+        ``event.elapsed`` (wall time) goes only into the
+        :attr:`wall_stage_seconds` sidecar, never into the registry --
+        snapshots stay bit-identical across runs.
         """
         if not self.enabled:
             return
+        wall = self.wall_stage_seconds.get(event.stage)
+        if wall is None:
+            wall = Histogram(WALL_SECONDS_BUCKETS)
+            self.wall_stage_seconds[event.stage] = wall
+        wall.observe(event.elapsed)
         registry = self.registry
         registry.counter("pipeline_stage_batches_total").labels(
             stage=event.stage

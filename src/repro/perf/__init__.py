@@ -14,12 +14,46 @@ against.
 * :mod:`repro.perf.cache` -- an idf-snapshot-keyed LRU cache so a
   document is tf*idf-vectorized at most once per snapshot;
 * :mod:`repro.perf.csr_hits` -- HITS / Bharat-Henzinger distillation as
-  alternating sparse matvecs over int-indexed CSR adjacency.
+  alternating sparse matvecs over int-indexed CSR adjacency;
+* :mod:`repro.perf.text` -- the single-pass HTML scanner, the
+  memoizing :class:`~repro.perf.text.TermInterner`, and the batched
+  :func:`~repro.perf.text.vectorize_batch` tf*idf kernel that feed the
+  convert/analyze stages.
 """
 
 from repro.perf.cache import VectorCache
-from repro.perf.compiled import CompiledClassifier, compile_classifier
-from repro.perf.csr_hits import CsrAdjacency, bharat_henzinger_csr, hits_csr
+from repro.perf.text import (
+    ScannedPage,
+    TermInterner,
+    default_interner,
+    scan_html,
+    tokenize_text,
+    vectorize_batch,
+)
+
+#: names resolved lazily (PEP 562): :mod:`repro.perf.compiled` and
+#: :mod:`repro.perf.csr_hits` pull in the ML layer (numpy SVMs) and
+#: through it all of :mod:`repro.text`; deferring them keeps
+#: ``import repro.perf`` cheap for callers that only want the text
+#: substrate or the vector cache.
+_LAZY = {
+    "CompiledClassifier": "repro.perf.compiled",
+    "compile_classifier": "repro.perf.compiled",
+    "CsrAdjacency": "repro.perf.csr_hits",
+    "hits_csr": "repro.perf.csr_hits",
+    "bharat_henzinger_csr": "repro.perf.csr_hits",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
 
 __all__ = [
     "VectorCache",
@@ -28,4 +62,10 @@ __all__ = [
     "CsrAdjacency",
     "hits_csr",
     "bharat_henzinger_csr",
+    "ScannedPage",
+    "TermInterner",
+    "default_interner",
+    "scan_html",
+    "tokenize_text",
+    "vectorize_batch",
 ]

@@ -48,6 +48,35 @@ class VectorCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    def get(self, doc: Any, version: Hashable) -> Any:
+        """The cached vectors of ``doc`` under ``version``, or None.
+
+        A stored entry is reused only when both the document object and
+        the snapshot version match.  Counts a hit or a miss; callers
+        that follow a miss with :meth:`put` must not count again.
+        """
+        if self.maxsize == 0:
+            self.misses += 1
+            return None
+        key = id(doc)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] == version and entry[1] is doc:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry[2]
+        self.misses += 1
+        return None
+
+    def put(self, doc: Any, version: Hashable, vectors: Any) -> None:
+        """Store ``doc``'s vectors under ``version`` (LRU-evicting)."""
+        if self.maxsize == 0:
+            return
+        key = id(doc)
+        self._entries[key] = (version, doc, vectors)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
     def get_or_compute(
         self,
         doc: Any,
@@ -60,18 +89,9 @@ class VectorCache:
         the snapshot version match; otherwise ``compute(doc)`` runs and
         replaces it.
         """
-        if self.maxsize == 0:
-            return compute(doc)
-        key = id(doc)
-        entry = self._entries.get(key)
-        if entry is not None and entry[0] == version and entry[1] is doc:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return entry[2]
-        self.misses += 1
+        cached = self.get(doc, version)
+        if cached is not None:
+            return cached
         vectors = compute(doc)
-        self._entries[key] = (version, doc, vectors)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        self.put(doc, version, vectors)
         return vectors

@@ -24,6 +24,7 @@ from repro.core.dedup import DuplicateDetector
 from repro.core.frontier import CrawlFrontier, QueueEntry
 from repro.errors import DNSError
 from repro.obs import Obs
+from repro.perf.text import TermInterner
 from repro.robust.breaker import BreakerBoard
 from repro.robust.faults import FaultInjector
 from repro.text.features import TermSpace
@@ -78,6 +79,11 @@ class CrawlContext:
         self.on_retrain = on_retrain
         self.handlers = default_registry()
         self.converted_formats: Counter = Counter()
+        self.interner = TermInterner()
+        """The crawl's term interner: shared stem-memo and term-id
+        tables for every document the convert stage scans.  Created
+        fresh per context so its hit/miss counters (surfaced through
+        obs) are deterministic for the crawl."""
 
         self.resolver = CachingResolver(
             [
@@ -124,6 +130,7 @@ class CrawlContext:
                 server.faults = self.faults
 
         self.obs.register_source("robust", self.hosts)
+        self.obs.register_source("text", self.interner)
         if hasattr(self.classifier, "stats"):
             self.obs.register_source("perf", self.classifier)
         self.obs.register_source(

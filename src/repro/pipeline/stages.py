@@ -38,9 +38,9 @@ from dataclasses import dataclass, replace
 from typing import Protocol, runtime_checkable
 
 from repro.errors import DNSError
+from repro.perf.text import scan_html
 from repro.robust.breaker import DEFER_QUARANTINE, DEFER_SLOW
-from repro.text.features import AnalyzedDocument
-from repro.text.tokenizer import tokenize_html
+from repro.text.features import AnalyzedDocument, TermSpace
 from repro.web.server import FetchStatus
 from repro.web.urls import is_crawlable_url, join_url, parse_url
 
@@ -264,12 +264,39 @@ class FetchStage:
 
 
 class ConvertStage:
-    """Content handlers: recognised formats become HTML, then tokens."""
+    """Content handlers: recognised formats become HTML, then terms.
+
+    The analyzer is the single-pass scanner of :mod:`repro.perf.text`,
+    fed through the context's shared :class:`~repro.perf.text.
+    TermInterner`.  Token objects are only materialised when a
+    configured feature space actually reads positions/surfaces (any
+    space beyond the plain :class:`~repro.text.features.TermSpace`);
+    the default term-only configuration runs on the scanner's
+    ``stem_counts`` alone.  Setting :attr:`analyzer` swaps in an
+    alternative ``html -> HtmlDocument`` analyzer (the golden-parity
+    suite installs the frozen reference pipeline here).
+    """
 
     name = "convert"
 
+    def __init__(self) -> None:
+        self.analyzer = None
+
     def run(self, batch: list[CrawlItem], ctx) -> list[CrawlItem]:
         stats = ctx.stats
+        interner = ctx.interner
+        analyzer = self.analyzer
+        # Token objects are needed only by position/surface-aware
+        # feature spaces; recomputed per batch so swapped-in spaces are
+        # honoured.
+        with_tokens = any(
+            type(space) is not TermSpace for space in ctx.spaces.values()
+        )
+        tokens_total = 0
+        stem_hits = interner.stem_table_hits
+        stem_misses = interner.stem_table_misses
+        intern_hits = interner.intern_hits
+        intern_misses = interner.intern_misses
         converted_items: list[CrawlItem] = []
         for item in batch:
             converted = ctx.handlers.convert(
@@ -280,8 +307,35 @@ class ConvertStage:
                 continue
             ctx.converted_formats[converted.source_format] += 1
             item.converted = converted
-            item.html_doc = tokenize_html(converted.html)
+            if analyzer is not None:
+                doc = analyzer(converted.html)
+                tokens_total += len(doc.tokens)
+            else:
+                doc = scan_html(
+                    converted.html,
+                    interner,
+                    with_tokens=with_tokens,
+                    with_text=False,
+                )
+                tokens_total += sum(doc.stem_counts.values())
+            item.html_doc = doc
             converted_items.append(item)
+        if ctx.obs.enabled:
+            registry = ctx.obs.registry
+            registry.counter("convert_docs_total").inc(len(converted_items))
+            registry.counter("convert_tokens_total").inc(tokens_total)
+            registry.counter("convert_stem_table_hits_total").inc(
+                interner.stem_table_hits - stem_hits
+            )
+            registry.counter("convert_stem_table_misses_total").inc(
+                interner.stem_table_misses - stem_misses
+            )
+            registry.counter("convert_intern_hits_total").inc(
+                interner.intern_hits - intern_hits
+            )
+            registry.counter("convert_intern_misses_total").inc(
+                interner.intern_misses - intern_misses
+            )
         return converted_items
 
 
@@ -298,11 +352,23 @@ class AnalyzeStage:
     def run(self, batch: list[CrawlItem], ctx) -> list[CrawlItem]:
         stats = ctx.stats
         for item in batch:
-            analyzed = AnalyzedDocument(tokens=item.html_doc.tokens)
-            item.counts = {
-                name: space.extract(analyzed)
-                for name, space in ctx.spaces.items()
-            }
+            doc = item.html_doc
+            # Fast path: a plain TermSpace is exactly Counter(stems),
+            # which the scanner already produced in first-occurrence
+            # order as stem_counts -- no token objects required.
+            # Reference analyzers (the parity seam) and richer spaces
+            # fall back to the token-based extraction.
+            stem_counts = getattr(doc, "stem_counts", None)
+            analyzed = None
+            counts = {}
+            for name, space in ctx.spaces.items():
+                if stem_counts is not None and type(space) is TermSpace:
+                    counts[name] = Counter(stem_counts)
+                else:
+                    if analyzed is None:
+                        analyzed = AnalyzedDocument(tokens=doc.tokens)
+                    counts[name] = space.extract(analyzed)
+            item.counts = counts
             resolved: list[str] = []
             base = item.result.final_url or item.entry.url
             for href in item.html_doc.links:

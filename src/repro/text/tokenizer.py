@@ -5,40 +5,30 @@ bag of stemmed, stopword-free terms.  This module provides:
 
 * :func:`tokenize` -- plain-text tokenization (lowercase word extraction,
   stopword elimination, Porter stemming);
-* :func:`html_to_text` -- tag stripping with title/heading extraction;
+* :func:`html_to_text` -- tag stripping with title extraction;
 * :func:`tokenize_html` -- the full pipeline for an HTML page, which also
   extracts outgoing links and their anchor texts for the link-aware
   feature spaces of section 3.4.
 
-The HTML handling is a small, robust scanner rather than a full parser:
-BINGO! itself normalised every supported format (PDF, Word, ...) into
-HTML-ish text before analysis, and our synthetic Web emits well-formed
-markup, so a tolerant scanner is sufficient and fast.
+Since the single-pass rewrite, all three are thin fronts over
+:mod:`repro.text.scanner`: one traversal of the raw markup feeds a shared
+:class:`~repro.text.scanner.TermInterner` whose memoized Porter-stem table
+does the heavy lifting.  The previous five-regex implementation is
+preserved verbatim in :mod:`repro.text.reference` and the golden corpus
+test pins byte-for-byte parity on everything except two deliberate
+fixes: known HTML entities are decoded instead of leaking terms like
+``amp``/``quot``, and ``<title>`` elements inside comments or
+script/style blocks are no longer extracted.
 """
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass, field
 
-from repro.text.stemmer import PorterStemmer
-from repro.text.stopwords import ANCHOR_STOPWORDS, STOPWORDS
+from repro.text.scanner import default_interner, scan_html, tokenize_text
+from repro.text.stopwords import STOPWORDS
 
 __all__ = ["Token", "HtmlDocument", "tokenize", "html_to_text", "tokenize_html"]
-
-_WORD_RE = re.compile(r"[a-zA-Z][a-zA-Z0-9']*")
-_TAG_RE = re.compile(r"<[^>]*>")
-_ANCHOR_RE = re.compile(
-    r"<a\s[^>]*?href\s*=\s*(?:\"([^\"]*)\"|'([^']*)'|([^\s>]+))[^>]*>(.*?)</a>",
-    re.IGNORECASE | re.DOTALL,
-)
-_TITLE_RE = re.compile(r"<title[^>]*>(.*?)</title>", re.IGNORECASE | re.DOTALL)
-_SCRIPT_RE = re.compile(
-    r"<(script|style)[^>]*>.*?</\1>", re.IGNORECASE | re.DOTALL
-)
-_COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
-
-_stemmer = PorterStemmer()
 
 
 @dataclass(frozen=True)
@@ -60,6 +50,10 @@ class HtmlDocument:
     links: list[str] = field(default_factory=list)
     anchor_terms: dict[str, list[str]] = field(default_factory=dict)
     """Map from target URL to the stemmed anchor-text terms that point at it."""
+    stem_counts: dict[str, int] | None = None
+    """Body-term bag in first-occurrence order (``Counter(stems)``
+    equivalent), populated by the scanner so the pipeline can skip
+    re-counting tokens."""
 
 
 def tokenize(
@@ -74,35 +68,23 @@ def tokenize(
     stopwords are dropped *before* stemming (matching the classic pipeline
     order: normalization -> stopword elimination -> stemming).
     """
-    tokens: list[Token] = []
-    position = 0
-    for match in _WORD_RE.finditer(text):
-        surface = match.group(0).lower().strip("'")
-        if len(surface) < min_length or surface in stopwords:
-            continue
-        stemmed = _stemmer.stem(surface) if stem else surface
-        tokens.append(Token(stem=stemmed, surface=surface, position=position))
-        position += 1
-    return tokens
+    return tokenize_text(  # type: ignore[return-value]
+        text,
+        default_interner(),
+        min_length=min_length,
+        stopwords=stopwords,
+        stem=stem,
+        token_factory=Token,
+    )
 
 
 def html_to_text(html: str) -> tuple[str, str]:
     """Strip markup from ``html``; return ``(body_text, title)``."""
-    title_match = _TITLE_RE.search(html)
-    title = title_match.group(1).strip() if title_match else ""
-    cleaned = _COMMENT_RE.sub(" ", html)
-    cleaned = _SCRIPT_RE.sub(" ", cleaned)
-    cleaned = _TAG_RE.sub(" ", cleaned)
-    return cleaned, title
-
-
-def _anchor_tokens(anchor_html: str) -> list[str]:
-    """Stem the visible words of one anchor, under extended stopwording."""
-    visible = _TAG_RE.sub(" ", anchor_html)
-    return [
-        token.stem
-        for token in tokenize(visible, stopwords=ANCHOR_STOPWORDS)
-    ]
+    page = scan_html(
+        html, default_interner(), with_tokens=False, with_text=True,
+    )
+    assert page.text is not None
+    return page.text, page.title
 
 
 def tokenize_html(html: str, min_length: int = 2) -> HtmlDocument:
@@ -112,19 +94,20 @@ def tokenize_html(html: str, min_length: int = 2) -> HtmlDocument:
     outgoing link targets (in document order, duplicates preserved), and
     the anchor-text terms per target URL.
     """
-    links: list[str] = []
-    anchor_terms: dict[str, list[str]] = {}
-    for match in _ANCHOR_RE.finditer(html):
-        href = next(g for g in match.group(1, 2, 3) if g is not None).strip()
-        if not href:
-            continue
-        links.append(href)
-        terms = _anchor_tokens(match.group(4))
-        if terms:
-            anchor_terms.setdefault(href, []).extend(terms)
-    text, title = html_to_text(html)
-    tokens = tokenize(text, min_length=min_length)
+    page = scan_html(
+        html,
+        default_interner(),
+        min_length=min_length,
+        with_tokens=True,
+        with_text=True,
+        token_factory=Token,
+    )
+    assert page.text is not None and page.tokens is not None
     return HtmlDocument(
-        text=text, title=title, tokens=tokens, links=links,
-        anchor_terms=anchor_terms,
+        text=page.text,
+        title=page.title,
+        tokens=page.tokens,  # type: ignore[arg-type]
+        links=page.links,
+        anchor_terms=page.anchor_terms,
+        stem_counts=page.stem_counts,
     )

@@ -38,6 +38,10 @@ class SparseVector:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "weights", dict(self.weights))
+        # Cached Euclidean norm; not a dataclass field so equality and
+        # repr stay weight-only.  Vectors are immutable, so the norm
+        # can never go stale.
+        object.__setattr__(self, "_norm", None)
 
     def __len__(self) -> int:
         return len(self.weights)
@@ -50,7 +54,11 @@ class SparseVector:
 
     @property
     def norm(self) -> float:
-        return math.sqrt(sum(w * w for w in self.weights.values()))
+        cached = self._norm
+        if cached is None:
+            cached = math.sqrt(sum(w * w for w in self.weights.values()))
+            object.__setattr__(self, "_norm", cached)
+        return cached
 
     def dot(self, other: "SparseVector") -> float:
         a, b = self.weights, other.weights

@@ -1,0 +1,111 @@
+"""The pipeline-benchmark regression gate (pure logic, no timing).
+
+``benchmarks/run_pipeline.py --check`` guards four quantities; these
+tests drive :func:`~benchmarks.run_pipeline.check_regression` directly
+with synthetic payloads so every gate (and every tolerance edge) is
+exercised without running a crawl.
+"""
+
+from __future__ import annotations
+
+from benchmarks.run_pipeline import (
+    DEFAULT_MAX_CONVERT_SHARE,
+    check_regression,
+)
+
+
+def payload(crawl_speedup=1.3, convert_speedup=8.0, pages_per_s=450.0,
+            convert_share=0.28) -> dict:
+    return {
+        "schema": 2,
+        "crawl": {
+            "speedup": crawl_speedup,
+            "batched_pages_per_s": pages_per_s,
+        },
+        "convert": {"speedup": convert_speedup},
+        "stage_breakdown": {
+            "stages": {"convert": {"share": convert_share}},
+        },
+    }
+
+
+def test_identical_run_passes() -> None:
+    base = payload()
+    assert check_regression(payload(), base, 0.30) == []
+
+
+def test_small_drift_within_tolerance_passes() -> None:
+    base = payload()
+    current = payload(crawl_speedup=1.0, convert_speedup=6.0,
+                      pages_per_s=330.0)
+    assert check_regression(current, base, 0.30) == []
+
+
+def test_crawl_speedup_regression_fails() -> None:
+    failures = check_regression(
+        payload(crawl_speedup=0.8), payload(), 0.30
+    )
+    assert len(failures) == 1
+    assert "micro-batched crawl" in failures[0]
+
+
+def test_convert_speedup_regression_fails() -> None:
+    failures = check_regression(
+        payload(convert_speedup=4.0), payload(), 0.30
+    )
+    assert len(failures) == 1
+    assert "convert substrate" in failures[0]
+
+
+def test_pages_per_s_floor_fails() -> None:
+    failures = check_regression(
+        payload(pages_per_s=200.0), payload(), 0.30
+    )
+    assert len(failures) == 1
+    assert "pages/s" in failures[0]
+
+
+def test_convert_share_ceiling_fails() -> None:
+    failures = check_regression(
+        payload(convert_share=0.40), payload(), 0.30
+    )
+    assert len(failures) == 1
+    assert "ceiling" in failures[0]
+    assert DEFAULT_MAX_CONVERT_SHARE == 0.35
+
+
+def test_share_gate_skipped_without_breakdown() -> None:
+    current = payload(convert_share=0.90)
+    del current["stage_breakdown"]
+    assert check_regression(current, payload(), 0.30) == []
+
+
+def test_old_schema_baseline_only_gates_what_it_has() -> None:
+    """A schema-1 baseline (no convert section) still gates the crawl
+    ratio and the pages/s floor -- and nothing else."""
+    old_baseline = {
+        "schema": 1,
+        "crawl": {"speedup": 1.09, "batched_pages_per_s": 168.0},
+    }
+    assert check_regression(payload(), old_baseline, 0.30) == []
+    failures = check_regression(
+        payload(crawl_speedup=0.5, pages_per_s=100.0),
+        old_baseline, 0.30,
+    )
+    assert len(failures) == 2
+
+
+def test_committed_baseline_meets_the_acceptance_floors() -> None:
+    """The checked-in results must themselves satisfy the PR's targets:
+    >= 2.5x the pre-rewrite 168.0 pages/s and convert share < 0.35."""
+    import json
+    import pathlib
+
+    committed = json.loads(
+        (pathlib.Path(__file__).parent.parent / "benchmarks" / "results"
+         / "BENCH_pipeline.json").read_text()
+    )
+    assert committed["crawl"]["batched_pages_per_s"] >= 2.5 * 168.0
+    share = committed["stage_breakdown"]["stages"]["convert"]["share"]
+    assert share < DEFAULT_MAX_CONVERT_SHARE
+    assert committed["convert"]["speedup"] >= 5.0
