@@ -1,0 +1,129 @@
+"""Standalone search benchmark runner (used by the CI search job).
+
+Writes ``benchmarks/results/BENCH_search.json`` and, with ``--check``,
+gates two quantities against a committed baseline:
+
+    PYTHONPATH=src:. python benchmarks/run_search.py \
+        --check benchmarks/results/BENCH_search.json --max-regression 0.30
+
+* the **acceptance floor**: the indexed path's p50 query latency must
+  be at least ``MIN_P50_SPEEDUP`` times better than brute force
+  (an absolute bar, checked even against a matching baseline);
+* the **regression gate**: the p50 and qps speedup *ratios* must not
+  fall more than ``--max-regression`` below the baseline ratios.
+  Ratios are compared instead of absolute latencies so the check is
+  machine-independent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+if __package__ in (None, ""):  # allow `python benchmarks/run_search.py`
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.search_runner import run_all
+
+DEFAULT_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_search.json"
+
+#: acceptance floor on the indexed-vs-brute p50 latency speedup
+MIN_P50_SPEEDUP = 5.0
+
+#: (json field, human name) speedup ratios checked against the baseline
+CHECKED_RATIOS = [
+    ("speedup_p50", "p50 latency speedup"),
+    ("speedup_qps", "throughput speedup"),
+]
+
+
+def check_regression(
+    current: dict, baseline: dict | None, max_regression: float
+) -> list[str]:
+    """Human-readable failure lines (empty list = no regression)."""
+    failures = []
+    latency = current.get("latency", {})
+    floor_value = latency.get("speedup_p50", 0.0)
+    if floor_value < MIN_P50_SPEEDUP:
+        failures.append(
+            f"acceptance floor: p50 speedup {floor_value:.2f}x is below "
+            f"the required {MIN_P50_SPEEDUP:.1f}x"
+        )
+    if baseline is not None:
+        base_latency = baseline.get("latency", {})
+        for field, label in CHECKED_RATIOS:
+            if field not in base_latency:
+                continue
+            old = base_latency[field]
+            new = latency.get(field, 0.0)
+            floor = old * (1.0 - max_regression)
+            if new < floor:
+                failures.append(
+                    f"{label}: {new:.2f}x fell below {floor:.2f}x "
+                    f"(baseline {old:.2f}x - {max_regression:.0%} "
+                    f"tolerance)"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=DEFAULT_OUT,
+        help="where to write the results JSON",
+    )
+    parser.add_argument(
+        "--check", type=pathlib.Path, default=None, metavar="BASELINE",
+        help="baseline JSON to compare speedup ratios against",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.30,
+        help="allowed fractional drop of each speedup ratio (default 0.30)",
+    )
+    parser.add_argument(
+        "--docs", type=int, default=2500,
+        help="synthetic corpus size",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=300,
+        help="distinct timed queries",
+    )
+    parser.add_argument(
+        "--skip-simulated", action="store_true",
+        help="skip the deterministic simulated-load section",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.check is not None:
+        if not args.check.is_file():
+            print(f"baseline not found: {args.check}", file=sys.stderr)
+            return 2
+        baseline = json.loads(args.check.read_text())
+
+    results = run_all(
+        include_simulated=not args.skip_simulated,
+        docs=args.docs,
+        queries=args.queries,
+    )
+    print(json.dumps(results, indent=2))
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    failures = check_regression(results, baseline, args.max_regression)
+    if failures:
+        print("\nREGRESSION:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    if baseline is not None:
+        print("regression check passed against", args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

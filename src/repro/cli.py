@@ -1,11 +1,12 @@
 """Command-line interface: run the paper's workflows from a shell.
 
-Four subcommands mirror the repository's deliverables::
+Five subcommands mirror the repository's deliverables::
 
-    python -m repro.cli portal  --seed 17 --short 700 --long 6000
-    python -m repro.cli expert  --seed 7  --budget 700
-    python -m repro.cli crawl   --seed 7  --budget 1000 --export-portal out/
-    python -m repro.cli ablate  --which focus archetypes negatives features
+    python -m repro.cli portal    --seed 17 --short 700 --long 6000
+    python -m repro.cli expert    --seed 7  --budget 700
+    python -m repro.cli crawl     --seed 7  --budget 1000 --export-portal out/
+    python -m repro.cli queryload --seed 7  --budget 400 --requests 500
+    python -m repro.cli ablate    --which focus archetypes negatives features
 
 Every run is deterministic given its ``--seed``.
 
@@ -64,6 +65,30 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--metrics-out", metavar="PATH", default=None,
                        help="write the final metrics snapshot to PATH "
                             "(.prom/.txt: Prometheus text; otherwise JSON)")
+
+    queryload = sub.add_parser(
+        "queryload",
+        help="crawl, then drive the query-serving tier with a "
+             "deterministic Zipfian load",
+    )
+    queryload.add_argument("--seed", type=int, default=7)
+    queryload.add_argument("--budget", type=int, default=400,
+                           help="harvesting fetch budget of the crawl")
+    queryload.add_argument("--requests", type=int, default=500,
+                           help="number of load-generator requests")
+    queryload.add_argument("--clients", type=int, default=8,
+                           help="distinct rate-limited clients")
+    queryload.add_argument("--arrival-rate", type=float, default=40.0,
+                           help="mean arrivals per simulated second")
+    queryload.add_argument("--rate", type=float, default=10.0,
+                           help="per-client token refill rate (tokens/s)")
+    queryload.add_argument("--burst", type=float, default=20.0,
+                           help="per-client token-bucket capacity")
+    queryload.add_argument("--zipf", type=float, default=1.1,
+                           help="Zipf exponent of query popularity")
+    queryload.add_argument("--metrics-out", metavar="PATH", default=None,
+                           help="write the final metrics snapshot to PATH "
+                                "(.prom/.txt: Prometheus text; else JSON)")
 
     ablate = sub.add_parser(
         "ablate", help="sections 3.1-3.4 design-choice ablations"
@@ -138,6 +163,56 @@ def _cmd_crawl(args) -> int:
     return 0
 
 
+def _cmd_queryload(args) -> int:
+    from repro.core import BingoConfig, BingoEngine
+    from repro.search.engine import LocalSearchEngine
+    from repro.search.serving import (
+        LoadConfig,
+        QueryServer,
+        build_query_pool,
+        run_query_load,
+    )
+    from repro.web import SyntheticWeb, WebGraphConfig
+
+    web = SyntheticWeb.generate(WebGraphConfig(seed=args.seed))
+    engine = BingoEngine.for_portal(
+        web, config=BingoConfig(seed=args.seed)
+    )
+    engine.run(harvesting_fetch_budget=args.budget)
+    search = LocalSearchEngine(
+        engine.crawler.documents, obs=engine.obs, indexed=True
+    )
+    server = QueryServer(
+        search,
+        clock=engine.ctx.clock,
+        obs=engine.obs,
+        rate=args.rate,
+        burst=args.burst,
+    )
+    pool = build_query_pool(engine.crawler.documents, seed=args.seed)
+    report = run_query_load(
+        server,
+        pool,
+        LoadConfig(
+            requests=args.requests,
+            clients=args.clients,
+            seed=args.seed,
+            zipf_s=args.zipf,
+            arrival_rate=args.arrival_rate,
+        ),
+    )
+    print(f"query load over {len(search.documents)} indexed documents "
+          f"({len(search.index())} terms):")
+    for key, value in sorted(report.summary().items()):
+        print(f"  {key:>16}: {value:.6g}")
+    if args.metrics_out:
+        from repro.obs import write_metrics
+
+        path = write_metrics(engine.obs.registry, args.metrics_out)
+        print(f"metrics written: {path}")
+    return 0
+
+
 def _cmd_ablate(args) -> int:
     from repro.experiments import ablations
 
@@ -162,6 +237,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "portal": _cmd_portal,
         "expert": _cmd_expert,
         "crawl": _cmd_crawl,
+        "queryload": _cmd_queryload,
         "ablate": _cmd_ablate,
     }
     try:

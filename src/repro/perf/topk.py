@@ -1,0 +1,179 @@
+"""Top-k query kernels: compressed postings and WAND early exit.
+
+The query-serving tier (paper section 3.6; the "millions of users" half
+of an information portal) cannot afford to score every stored document
+per query.  This module holds the two hot primitives the inverted index
+in :mod:`repro.search.index` builds on:
+
+* **delta/varint posting compression** -- sorted doc-id runs are stored
+  as LEB128-encoded gaps (:func:`encode_doc_ids` /
+  :func:`decode_doc_ids`), the classic inverted-file layout;
+* **WAND-style top-k** (:func:`wand_topk`) -- document-at-a-time
+  traversal with per-term max-score bounds.  A document is *exactly*
+  scored (via a caller-supplied callback) only when the sum of the
+  upper bounds of the terms it can still contain may reach the current
+  top-k threshold; everything else is skipped without scoring.
+
+Rank-exactness contract: the pruning test inflates every accumulated
+bound by :data:`BOUND_INFLATION` (a relative epsilon far above the
+rounding error of summing a handful of non-negative floats) and admits
+ties, so a document is only skipped when its exact score is *provably*
+below the current k-th best.  The surviving set therefore contains the
+true top k under the ``(-score, doc_id)`` order, with scores computed
+by the same callback the brute-force ranker uses -- bit-identical
+results, not merely approximately equal ones.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+from collections.abc import Callable, Container, Sequence
+
+__all__ = [
+    "BOUND_INFLATION",
+    "encode_doc_ids",
+    "decode_doc_ids",
+    "PostingCursor",
+    "wand_topk",
+]
+
+#: relative slack applied to upper bounds before threshold comparison;
+#: keeps float-rounded bound sums conservative (see module docstring)
+BOUND_INFLATION = 1.0 + 1e-9
+
+#: cursor doc id after exhaustion; sorts after every real doc id
+_END = 1 << 62
+
+
+def encode_doc_ids(doc_ids: Sequence[int]) -> bytes:
+    """LEB128-encode a strictly increasing run of non-negative doc ids.
+
+    The first id is stored as ``id + 1`` and every later one as its gap
+    to the predecessor, so all varints are >= 1 and decoding needs no
+    special first-element case.
+    """
+    out = bytearray()
+    previous = -1
+    for doc_id in doc_ids:
+        gap = doc_id - previous
+        if gap <= 0:
+            raise ValueError(
+                f"doc ids must be strictly increasing and >= 0; "
+                f"got {doc_id} after {previous}"
+            )
+        previous = doc_id
+        while gap >= 0x80:
+            out.append((gap & 0x7F) | 0x80)
+            gap >>= 7
+        out.append(gap)
+    return bytes(out)
+
+
+def decode_doc_ids(data: bytes) -> list[int]:
+    """Decode :func:`encode_doc_ids` output back to absolute doc ids."""
+    doc_ids: list[int] = []
+    current = -1
+    gap = 0
+    shift = 0
+    for byte in data:
+        gap |= (byte & 0x7F) << shift
+        if byte & 0x80:
+            shift += 7
+            continue
+        current += gap
+        doc_ids.append(current)
+        gap = 0
+        shift = 0
+    if shift != 0:
+        raise ValueError("truncated varint in posting data")
+    return doc_ids
+
+
+class PostingCursor:
+    """One query term's posting traversal state for :func:`wand_topk`.
+
+    ``bound`` is the term's maximal possible contribution to a final
+    score, already expressed in combined-score units (the caller folds
+    in its query weight and ranking weight).
+    """
+
+    __slots__ = ("doc_ids", "bound", "pos", "cur")
+
+    def __init__(self, doc_ids: Sequence[int], bound: float) -> None:
+        self.doc_ids = doc_ids
+        self.bound = bound
+        self.pos = 0
+        self.cur = doc_ids[0] if doc_ids else _END
+
+    def advance(self) -> None:
+        """Step to the next posting (exhausts past the end)."""
+        self.pos += 1
+        ids = self.doc_ids
+        self.cur = ids[self.pos] if self.pos < len(ids) else _END
+
+    def seek(self, target: int) -> None:
+        """Skip forward to the first posting with ``doc_id >= target``."""
+        if self.cur >= target:
+            return
+        self.pos = bisect_left(self.doc_ids, target, self.pos + 1)
+        ids = self.doc_ids
+        self.cur = ids[self.pos] if self.pos < len(ids) else _END
+
+
+def wand_topk(
+    cursors: Sequence[PostingCursor],
+    k: int,
+    score: Callable[[int], float],
+    members: Container[int] | None = None,
+    static_bound: float = 0.0,
+) -> list[tuple[float, int]]:
+    """The top ``k`` matching documents under ``(-score, doc_id)``.
+
+    ``score`` is invoked at most once per surviving document and must
+    return the document's *exact* final score; ``members`` (when given)
+    restricts scoring to a candidate subset, e.g. a topic filter.
+    ``static_bound`` is an upper bound on the query-independent score
+    component (confidence/authority weights) shared by all documents;
+    it widens every pruning test so mixed-weight queries stay exact.
+
+    Returns ``(score, doc_id)`` pairs in no particular order; documents
+    sharing no term with the query never appear (their cosine is zero
+    by construction) and are the caller's business.
+    """
+    if k <= 0:
+        return []
+    # min-heap of (score, -doc_id): the root is the *worst* kept hit
+    # under the (-score, doc_id) ranking order
+    heap: list[tuple[float, int]] = []
+    active = [cursor for cursor in cursors if cursor.cur != _END]
+    while active:
+        active.sort(key=lambda cursor: cursor.cur)
+        threshold = heap[0][0] if len(heap) >= k else None
+        accumulated = static_bound
+        pivot = -1
+        for index, cursor in enumerate(active):
+            accumulated += cursor.bound
+            if (
+                threshold is None
+                or accumulated * BOUND_INFLATION >= threshold
+            ):
+                pivot = index
+                break
+        if pivot < 0:
+            break  # not even the densest remaining doc can reach top k
+        pivot_doc = active[pivot].cur
+        if active[0].cur == pivot_doc:
+            if members is None or pivot_doc in members:
+                item = (score(pivot_doc), -pivot_doc)
+                if len(heap) < k:
+                    heapq.heappush(heap, item)
+                elif item > heap[0]:
+                    heapq.heapreplace(heap, item)
+            for cursor in active:
+                if cursor.cur == pivot_doc:
+                    cursor.advance()
+        else:
+            active[0].seek(pivot_doc)
+        active = [cursor for cursor in active if cursor.cur != _END]
+    return [(value, -neg_doc_id) for value, neg_doc_id in heap]

@@ -11,18 +11,40 @@ external-search stand-in used to pick expert-query seeds (Figure 4).
 from repro.search.engine import LocalSearchEngine, RankedHit, RankingWeights
 from repro.search.feedback import FeedbackSession
 from repro.search.clustering import SubclassSuggestion, suggest_subclasses
+from repro.search.index import InvertedIndex, Postings, QueryCache
 from repro.search.portal_export import PortalExporter, PortalPage
 from repro.search.seed_queries import ExternalSearchEngine, SeedHit
+from repro.search.serving import (
+    LoadConfig,
+    LoadReport,
+    QueryRequest,
+    QueryResponse,
+    QueryServer,
+    TokenBucket,
+    build_query_pool,
+    run_query_load,
+)
 
 __all__ = [
     "ExternalSearchEngine",
     "FeedbackSession",
+    "InvertedIndex",
+    "LoadConfig",
+    "LoadReport",
     "LocalSearchEngine",
     "PortalExporter",
     "PortalPage",
+    "Postings",
+    "QueryCache",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryServer",
     "RankedHit",
     "RankingWeights",
     "SeedHit",
     "SubclassSuggestion",
     "suggest_subclasses",
+    "TokenBucket",
+    "build_query_pool",
+    "run_query_load",
 ]

@@ -9,10 +9,24 @@ a linear sum with appropriate weights":
   assignment;
 * **authority** -- HITS authority scores over the filtered documents'
   link graph.
+
+Two ranking paths produce bit-identical results:
+
+* the **brute-force** reference (:meth:`LocalSearchEngine.rank_all`)
+  scores every filtered document and fully sorts;
+* the **indexed** top-k path walks the
+  :class:`~repro.search.index.InvertedIndex` with WAND-style early
+  exit (:func:`repro.perf.topk.wand_topk`) and only ever computes
+  exact scores -- through the *same* cosine / combination code as the
+  brute path -- for documents that can still reach the top k.  The
+  parity suite (``tests/search/test_parity.py``) pins equality of
+  documents, scores and order across filters, weights and ``top_k``
+  edge cases.
 """
 
 from __future__ import annotations
 
+import heapq
 import time
 from collections import Counter
 from dataclasses import dataclass
@@ -22,8 +36,14 @@ from repro.analysis.graph import LinkGraph
 from repro.analysis.hits import hits
 from repro.core.crawler import CrawledDocument
 from repro.errors import SearchError
+from repro.perf.topk import PostingCursor, wand_topk
+from repro.search.index import InvertedIndex
 from repro.text.tokenizer import tokenize
-from repro.text.vectorizer import SparseVector, TfIdfVectorizer, cosine_similarity
+from repro.text.vectorizer import (
+    SparseVector,
+    TfIdfVectorizer,
+    cosine_similarity,
+)
 
 __all__ = ["RankingWeights", "RankedHit", "LocalSearchEngine"]
 
@@ -59,35 +79,75 @@ class RankedHit:
 
 
 def _min_max_normalize(values: dict[int, float]) -> dict[int, float]:
+    """Min-max normalise scores to [0, 1] over the candidate set.
+
+    The degenerate case (``hi <= lo``, e.g. a single candidate or a
+    filter where every document carries the same confidence) maps to
+    **0.0**: a scheme that cannot discriminate between the candidates
+    must not contribute weight, otherwise a single-candidate filter
+    would report full confidence/authority regardless of the
+    underlying score.
+    """
     if not values:
         return {}
     lo = min(values.values())
     hi = max(values.values())
     if hi <= lo:
-        return {k: 1.0 for k in values}
+        return {k: 0.0 for k in values}
     return {k: (v - lo) / (hi - lo) for k, v in values.items()}
+
+
+def _combine(
+    weights: RankingWeights, cosine: float, confidence: float,
+    authority: float,
+) -> float:
+    """The weighted linear combination, shared by both ranking paths.
+
+    Both the brute-force and the indexed scorer go through this one
+    expression so their floating-point operation order -- and hence
+    every final score -- is bit-identical.
+    """
+    return (
+        weights.cosine * cosine
+        + weights.confidence * confidence
+        + weights.authority * authority
+    )
 
 
 class LocalSearchEngine:
     """Filter + rank over the crawler's stored documents."""
 
     def __init__(self, documents: Sequence[CrawledDocument],
-                 obs=None) -> None:
+                 obs=None, indexed: bool = True) -> None:
         self.obs = obs
         """Optional :class:`repro.obs.Obs` bundle; queries then report
         into the crawl's metrics registry as the ``search`` source."""
+        self.indexed = indexed
+        """Serve ``search`` through the inverted index (built lazily on
+        the first query).  The brute-force path remains available as
+        :meth:`rank_all` and is rank-identical by construction."""
         self.queries = 0
+        self.queries_failed = 0
+        """Queries rejected with a :class:`~repro.errors.SearchError`
+        (invalid weights, no indexable terms).  Failed queries still
+        count into :attr:`queries` and accumulate latency."""
         self.query_seconds = 0.0
         """Wall-clock seconds spent in :meth:`search` (diagnostic only;
         never fed back into the simulated clock or the registry
         counters proper -- it surfaces through :meth:`stats`)."""
         self.candidates_ranked = 0
+        self.generation = 0
+        """Bumped by :meth:`refresh`; with the idf snapshot version it
+        forms :attr:`cache_token`, the key prefix under which serving
+        layers may cache results of this engine."""
         if obs is not None:
             obs.register_source("search", self)
         self.documents = list(documents)
         self.vectorizer = TfIdfVectorizer()
         for document in self.documents:
-            self.vectorizer.ingest(document.counts.get("term", Counter()).keys())
+            self.vectorizer.ingest(
+                document.counts.get("term", Counter()).keys()
+            )
         self.vectorizer.refresh()
         self._vectors: dict[int, SparseVector] = {
             document.doc_id: self.vectorizer.vectorize_counts(
@@ -95,6 +155,63 @@ class LocalSearchEngine:
             )
             for document in self.documents
         }
+        self._by_id = {d.doc_id: d for d in self.documents}
+        self._index: InvertedIndex | None = None
+
+    # -- index lifecycle ----------------------------------------------------
+
+    @property
+    def cache_token(self) -> tuple[int, int]:
+        """Key prefix for result caches: ``(idf snapshot, generation)``.
+
+        Any event that changes ranking -- a retraining refreshing the
+        idf snapshot, an archetype promotion, :meth:`refresh` -- changes
+        this token, so caches keyed on it self-invalidate.
+        """
+        return (self.vectorizer.snapshot_version, self.generation)
+
+    def index(self) -> InvertedIndex:
+        """The inverted index over the current corpus (built lazily)."""
+        index = self._index
+        if index is None or (
+            index.snapshot_version != self.vectorizer.snapshot_version
+        ):
+            index = InvertedIndex.build(
+                self._vectors, self.vectorizer.snapshot_version
+            )
+            self._index = index
+        return index
+
+    def refresh(
+        self, documents: Sequence[CrawledDocument] | None = None
+    ) -> None:
+        """Rebuild vectors and index after retraining or promotion.
+
+        The engine's idf statistics and document vectors are recomputed
+        from scratch (optionally over a new document set), the inverted
+        index is dropped for lazy rebuild, and :attr:`generation` is
+        bumped so every :attr:`cache_token`-keyed result cache
+        invalidates.  This is the documented contract for the serving
+        tier: call ``refresh()`` whenever the crawl retrains or
+        promotes archetypes while queries are being served.
+        """
+        if documents is not None:
+            self.documents = list(documents)
+        self.vectorizer = TfIdfVectorizer()
+        for document in self.documents:
+            self.vectorizer.ingest(
+                document.counts.get("term", Counter()).keys()
+            )
+        self.vectorizer.refresh()
+        self._vectors = {
+            document.doc_id: self.vectorizer.vectorize_counts(
+                document.counts.get("term", Counter())
+            )
+            for document in self.documents
+        }
+        self._by_id = {d.doc_id: d for d in self.documents}
+        self._index = None
+        self.generation += 1
 
     # -- filtering ----------------------------------------------------------
 
@@ -123,7 +240,16 @@ class LocalSearchEngine:
     def _authority_scores(
         self, documents: Sequence[CrawledDocument]
     ) -> dict[int, float]:
-        url_to_doc = {d.final_url: d.doc_id for d in self.documents}
+        # a link row holds the *raw* (pre-redirect) target URL, but a
+        # redirected document is stored under its final URL -- index
+        # both so edges through redirects reach their target (the
+        # final-URL mapping wins on collision, matching dedup's
+        # canonical-document choice)
+        url_to_doc: dict[str, int] = {}
+        for d in self.documents:
+            url_to_doc[d.url] = d.doc_id
+        for d in self.documents:
+            url_to_doc[d.final_url] = d.doc_id
         member_ids = {d.doc_id for d in documents}
         graph = LinkGraph()
         for document in documents:
@@ -133,6 +259,167 @@ class LocalSearchEngine:
                 if target is not None and target in member_ids:
                     graph.add_edge(document.doc_id, target)
         return hits(graph).authority
+
+    def _components(
+        self,
+        candidates: Sequence[CrawledDocument],
+        weights: RankingWeights,
+    ) -> tuple[dict[int, float], dict[int, float]]:
+        """Normalised confidence and authority maps over the filter.
+
+        Zero-weighted schemes return an empty map (every lookup falls
+        back to 0.0): the scheme contributes nothing to the score, and
+        skipping its normalisation pass keeps the query path O(matched)
+        instead of O(candidates).
+        """
+        confidences = (
+            _min_max_normalize(
+                {d.doc_id: d.confidence for d in candidates}
+            )
+            if weights.confidence > 0
+            else {}
+        )
+        authorities = (
+            _min_max_normalize(self._authority_scores(candidates))
+            if weights.authority > 0
+            else {}
+        )
+        return confidences, authorities
+
+    def rank_all(
+        self,
+        candidates: Sequence[CrawledDocument],
+        query_vector: SparseVector,
+        weights: RankingWeights,
+    ) -> list[RankedHit]:
+        """Brute-force reference: score and sort *every* candidate."""
+        confidences, authorities = self._components(candidates, weights)
+        cosines = {
+            d.doc_id: cosine_similarity(query_vector, self._vectors[d.doc_id])
+            for d in candidates
+        }
+        hits_list = [
+            RankedHit(
+                document=d,
+                score=_combine(
+                    weights,
+                    cosines[d.doc_id],
+                    confidences.get(d.doc_id, 0.0),
+                    authorities.get(d.doc_id, 0.0),
+                ),
+                cosine=cosines[d.doc_id],
+                confidence=confidences.get(d.doc_id, 0.0),
+                authority=authorities.get(d.doc_id, 0.0),
+            )
+            for d in candidates
+        ]
+        hits_list.sort(key=lambda hit: (-hit.score, hit.document.doc_id))
+        return hits_list
+
+    def _rank_indexed(
+        self,
+        candidates: Sequence[CrawledDocument],
+        query_vector: SparseVector,
+        weights: RankingWeights,
+        top_k: int,
+    ) -> list[RankedHit]:
+        """Index-backed top-k, rank-identical to :meth:`rank_all`.
+
+        The WAND kernel prunes with per-term max-score bounds but every
+        surviving document is scored through the exact same
+        ``cosine_similarity`` + :func:`_combine` calls as the brute
+        path; documents sharing no query term (cosine exactly 0.0) are
+        merged in from the static confidence/authority component.
+        """
+        index = self.index()
+        confidences, authorities = self._components(candidates, weights)
+        by_id = (
+            self._by_id
+            if len(candidates) == len(self.documents)
+            else {d.doc_id: d for d in candidates}
+        )
+        query_norm = query_vector.norm
+        cursors = []
+        for term in sorted(query_vector.weights):
+            postings = index.postings(term)
+            if postings is not None:
+                bound = (
+                    weights.cosine
+                    * (query_vector.weights[term] / query_norm)
+                    * postings.max_impact
+                )
+                cursors.append(PostingCursor(postings.doc_ids(), bound))
+        has_static = weights.confidence > 0 or weights.authority > 0
+        statics: dict[int, float] | None = None
+        static_bound = 0.0
+        if has_static:
+            statics = {
+                doc_id: _combine(
+                    weights,
+                    0.0,
+                    confidences.get(doc_id, 0.0),
+                    authorities.get(doc_id, 0.0),
+                )
+                for doc_id in by_id
+            }
+            static_bound = max(statics.values())
+
+        cosines: dict[int, float] = {}
+
+        def exact_score(doc_id: int) -> float:
+            cosine = cosine_similarity(query_vector, self._vectors[doc_id])
+            cosines[doc_id] = cosine
+            return _combine(
+                weights,
+                cosine,
+                confidences.get(doc_id, 0.0),
+                authorities.get(doc_id, 0.0),
+            )
+
+        members = (
+            None if len(by_id) == len(self.documents) else frozenset(by_id)
+        )
+        matched_top = wand_topk(
+            cursors, top_k, exact_score, members=members,
+            static_bound=static_bound,
+        )
+        scored = [
+            (score, doc_id, cosines[doc_id]) for score, doc_id in matched_top
+        ]
+        # documents sharing no query term still rank on the static
+        # component (brute force scores them with cosine == 0.0)
+        if statics is not None or len(scored) < top_k:
+            matched_any = index.matching_ids(query_vector.weights)
+            if statics is not None:
+                zero_pool = [
+                    (statics[doc_id], doc_id)
+                    for doc_id in by_id
+                    if doc_id not in matched_any
+                ]
+                top_static = heapq.nsmallest(
+                    top_k, zero_pool, key=lambda pair: (-pair[0], pair[1])
+                )
+            else:
+                fill = top_k - len(scored)
+                top_static = [
+                    (0.0, doc_id)
+                    for doc_id in sorted(by_id)
+                    if doc_id not in matched_any
+                ][:fill]
+            scored.extend(
+                (score, doc_id, 0.0) for score, doc_id in top_static
+            )
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return [
+            RankedHit(
+                document=by_id[doc_id],
+                score=score,
+                cosine=cosine,
+                confidence=confidences.get(doc_id, 0.0),
+                authority=authorities.get(doc_id, 0.0),
+            )
+            for score, doc_id, cosine in scored[:top_k]
+        ]
 
     def search(
         self,
@@ -146,56 +433,40 @@ class LocalSearchEngine:
 
         Component scores are min-max normalised over the filtered set
         before the weighted linear combination, so weights are comparable
-        across schemes.
+        across schemes.  Counter and latency accounting is consistent on
+        every path: failed queries (invalid weights, no indexable terms)
+        increment :attr:`queries` and :attr:`queries_failed` and still
+        accumulate :attr:`query_seconds`.
         """
         weights = weights or RankingWeights()
-        weights.validate()
         started = time.perf_counter()
-        candidates = self.filter(topic, exact=exact)
-        self._note_query(len(candidates), started)
-        if not candidates:
-            return []
-        query_vector = self._query_vector(query)
-        cosines = {
-            d.doc_id: cosine_similarity(query_vector, self._vectors[d.doc_id])
-            for d in candidates
-        }
-        confidences = _min_max_normalize(
-            {d.doc_id: d.confidence for d in candidates}
-        )
-        authorities = (
-            _min_max_normalize(self._authority_scores(candidates))
-            if weights.authority > 0
-            else {d.doc_id: 0.0 for d in candidates}
-        )
-        hits_list = [
-            RankedHit(
-                document=d,
-                score=(
-                    weights.cosine * cosines[d.doc_id]
-                    + weights.confidence * confidences.get(d.doc_id, 0.0)
-                    + weights.authority * authorities.get(d.doc_id, 0.0)
-                ),
-                cosine=cosines[d.doc_id],
-                confidence=confidences.get(d.doc_id, 0.0),
-                authority=authorities.get(d.doc_id, 0.0),
-            )
-            for d in candidates
-        ]
-        hits_list.sort(key=lambda hit: (-hit.score, hit.document.doc_id))
-        self.query_seconds += time.perf_counter() - started
-        return hits_list[:top_k]
-
-    def _note_query(self, candidates: int, started: float) -> None:
         self.queries += 1
-        self.candidates_ranked += candidates
-        if candidates == 0:
-            # the early-return path still counts its (tiny) latency
-            self.query_seconds += time.perf_counter() - started
-        if self.obs is not None:
-            registry = self.obs.registry
+        registry = self.obs.registry if self.obs is not None else None
+        if registry is not None:
             registry.counter("search_queries_total").inc()
-            registry.counter("search_candidates_ranked_total").inc(candidates)
+        try:
+            weights.validate()
+            candidates = self.filter(topic, exact=exact)
+            self.candidates_ranked += len(candidates)
+            if registry is not None:
+                registry.counter("search_candidates_ranked_total").inc(
+                    len(candidates)
+                )
+            if not candidates:
+                return []
+            query_vector = self._query_vector(query)
+            if self.indexed and top_k > 0:
+                return self._rank_indexed(
+                    candidates, query_vector, weights, top_k
+                )
+            return self.rank_all(candidates, query_vector, weights)[:top_k]
+        except SearchError:
+            self.queries_failed += 1
+            if registry is not None:
+                registry.counter("search_queries_failed_total").inc()
+            raise
+        finally:
+            self.query_seconds += time.perf_counter() - started
 
     # -- observability ------------------------------------------------------
 
@@ -205,9 +476,14 @@ class LocalSearchEngine:
         ``query_seconds`` is wall-clock latency -- the one diagnostic
         source stat that is not deterministic across machines.
         """
-        return {
+        stats = {
             "queries": float(self.queries),
+            "queries_failed": float(self.queries_failed),
             "query_seconds": float(self.query_seconds),
             "candidates_ranked": float(self.candidates_ranked),
             "documents_indexed": float(len(self.documents)),
+            "generation": float(self.generation),
         }
+        if self._index is not None:
+            stats.update(self._index.stats())
+        return stats

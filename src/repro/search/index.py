@@ -1,0 +1,281 @@
+"""The inverted index behind the query-serving tier (paper section 3.6).
+
+BINGO!'s portal serves "expert Web search" over the crawled corpus; the
+paper stores documents and terms in flat relations (section 4.1) and
+queries them through secondary indexes.  This module is the in-process
+equivalent of the term index: one :class:`Postings` run per term over
+the corpus, with
+
+* **delta/varint-compressed doc-id runs** (the classic inverted-file
+  layout; encoded via :func:`repro.perf.topk.encode_doc_ids`), decoded
+  lazily and memoized on first query touch;
+* **max-score metadata** -- each run carries its maximal *normalized
+  impact* ``max(weight / |doc|)``, the per-term upper bound WAND-style
+  early exit prunes with;
+* an explicit **idf-snapshot version**: the index is valid only for the
+  tf*idf snapshot it was built under, mirroring the
+  :class:`~repro.perf.cache.VectorCache` invalidation contract.
+
+:class:`QueryCache` is the serving tier's result cache: entries are
+keyed on the snapshot version and an index *generation* counter, so a
+retraining (idf refresh) or an archetype promotion (engine
+``refresh()``) invalidates every cached result without an explicit
+flush.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import OrderedDict
+from collections.abc import Hashable, Iterable, Mapping
+from typing import TYPE_CHECKING
+
+from repro.errors import SearchError
+from repro.perf.topk import decode_doc_ids, encode_doc_ids
+
+if TYPE_CHECKING:
+    from repro.storage.database import Database
+    from repro.text.vectorizer import SparseVector, TfIdfVectorizer
+
+__all__ = ["Postings", "InvertedIndex", "QueryCache"]
+
+
+class Postings:
+    """One term's compressed posting run with max-score metadata.
+
+    Doc ids are stored delta/varint-compressed; the parallel tf*idf
+    weights are packed into a double array.  Both decode lazily on
+    first access and stay decoded (the serving tier touches a small,
+    hot subset of the vocabulary).
+    """
+
+    __slots__ = (
+        "encoded_ids",
+        "encoded_weights",
+        "count",
+        "max_weight",
+        "max_impact",
+        "_doc_ids",
+        "_weights",
+    )
+
+    def __init__(
+        self,
+        doc_ids: list[int],
+        weights: list[float],
+        norms: Mapping[int, float],
+    ) -> None:
+        if len(doc_ids) != len(weights) or not doc_ids:
+            raise SearchError("postings need parallel, non-empty runs")
+        self.encoded_ids = encode_doc_ids(doc_ids)
+        self.encoded_weights = array("d", weights).tobytes()
+        self.count = len(doc_ids)
+        self.max_weight = max(weights)
+        self.max_impact = max(
+            (weight / norms[doc_id]) if norms[doc_id] > 0.0 else 0.0
+            for doc_id, weight in zip(doc_ids, weights)
+        )
+        self._doc_ids: list[int] | None = None
+        self._weights: array[float] | None = None
+
+    @property
+    def compressed_bytes(self) -> int:
+        return len(self.encoded_ids) + len(self.encoded_weights)
+
+    def doc_ids(self) -> list[int]:
+        """The sorted doc-id run (decoded once, then memoized)."""
+        decoded = self._doc_ids
+        if decoded is None:
+            decoded = decode_doc_ids(self.encoded_ids)
+            self._doc_ids = decoded
+        return decoded
+
+    def weights(self) -> "array[float]":
+        """The tf*idf weights parallel to :meth:`doc_ids`."""
+        decoded = self._weights
+        if decoded is None:
+            decoded = array("d")
+            decoded.frombytes(self.encoded_weights)
+            self._weights = decoded
+        return decoded
+
+
+class InvertedIndex:
+    """Sorted, compressed postings over one idf snapshot of the corpus.
+
+    Build it from the in-memory document vectors the search engine
+    already holds (:meth:`build`) or straight from the ``terms``
+    relation of the embedded store (:meth:`from_database`); both paths
+    produce identical postings for the same corpus.
+    """
+
+    def __init__(self, snapshot_version: int) -> None:
+        self.snapshot_version = snapshot_version
+        self.doc_count = 0
+        self.postings_total = 0
+        self.decoded_terms = 0
+        self._terms: dict[str, Postings] = {}
+        self._norms: dict[int, float] = {}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        vectors: Mapping[int, "SparseVector"],
+        snapshot_version: int,
+    ) -> "InvertedIndex":
+        """Index ``doc_id -> tf*idf vector`` under one idf snapshot."""
+        index = cls(snapshot_version)
+        norms = {
+            doc_id: vectors[doc_id].norm for doc_id in sorted(vectors)
+        }
+        index._norms = norms
+        index.doc_count = len(norms)
+        runs: dict[str, tuple[list[int], list[float]]] = {}
+        for doc_id in sorted(vectors):
+            for term, weight in sorted(vectors[doc_id].weights.items()):
+                ids, weights = runs.setdefault(term, ([], []))
+                ids.append(doc_id)
+                weights.append(weight)
+        for term in sorted(runs):
+            ids, weights = runs[term]
+            index._terms[term] = Postings(ids, weights, norms)
+            index.postings_total += len(ids)
+        return index
+
+    @classmethod
+    def from_database(
+        cls,
+        database: "Database",
+        vectorizer: "TfIdfVectorizer | None" = None,
+    ) -> "InvertedIndex":
+        """Index the ``terms`` relation of a crawl database.
+
+        Without an explicit ``vectorizer`` a fresh one is built the way
+        :class:`~repro.search.engine.LocalSearchEngine` does: every
+        stored document is ingested into the corpus statistics and the
+        idf snapshot refreshed once, so the resulting postings carry
+        exactly the weights the engine's brute-force ranker would use.
+        """
+        from collections import Counter
+
+        from repro.text.vectorizer import TfIdfVectorizer
+
+        counts: dict[int, Counter[str]] = {}
+        for row in database["terms"].scan():
+            doc_counts = counts.setdefault(int(row["doc_id"]), Counter())
+            doc_counts[str(row["term"])] = int(row["tf"])
+        if vectorizer is None:
+            vectorizer = TfIdfVectorizer()
+            for doc_id in sorted(counts):
+                vectorizer.ingest(counts[doc_id].keys())
+            vectorizer.refresh()
+        vectors = {
+            doc_id: vectorizer.vectorize_counts(counts[doc_id])
+            for doc_id in sorted(counts)
+        }
+        return cls.build(vectors, vectorizer.snapshot_version)
+
+    # -- access -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._terms
+
+    def terms(self) -> list[str]:
+        return sorted(self._terms)
+
+    def postings(self, term: str) -> Postings | None:
+        """The term's posting run, or None for unindexed vocabulary."""
+        run = self._terms.get(term)
+        if run is not None and run._doc_ids is None:
+            self.decoded_terms += 1
+        return run
+
+    def norm(self, doc_id: int) -> float:
+        return self._norms.get(doc_id, 0.0)
+
+    def matching_ids(self, terms: Iterable[str]) -> set[int]:
+        """All doc ids containing at least one of ``terms``."""
+        matched: set[int] = set()
+        for term in terms:
+            run = self._terms.get(term)
+            if run is not None:
+                matched.update(run.doc_ids())
+        return matched
+
+    # -- observability ----------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Index counters (:class:`repro.obs.api.Instrumented`)."""
+        return {
+            "index_terms": float(len(self._terms)),
+            "index_documents": float(self.doc_count),
+            "index_postings": float(self.postings_total),
+            "index_compressed_bytes": float(
+                sum(
+                    self._terms[term].compressed_bytes
+                    for term in sorted(self._terms)
+                )
+            ),
+            "index_decoded_terms": float(self.decoded_terms),
+            "index_snapshot_version": float(self.snapshot_version),
+        }
+
+
+class QueryCache:
+    """Bounded LRU of ranked results keyed on the idf snapshot.
+
+    Keys embed the engine's ``(snapshot_version, generation)`` token, so
+    a retraining (new idf snapshot) or an archetype promotion /
+    ``refresh()`` (new generation) makes every previous entry
+    unreachable; the LRU bound then ages the stale entries out without
+    an explicit flush.  ``invalidate()`` drops everything eagerly.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = max(int(maxsize), 0)
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> object | None:
+        if self.maxsize == 0:
+            self.misses += 1
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: Hashable, value: object) -> None:
+        if self.maxsize == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def invalidate(self) -> None:
+        """Eagerly drop every entry (retrain/promotion hook)."""
+        self.invalidations += 1
+        self._entries.clear()
+
+    def stats(self) -> dict[str, float]:
+        """Cache counters (:class:`repro.obs.api.Instrumented`)."""
+        return {
+            "query_cache_hits": float(self.hits),
+            "query_cache_misses": float(self.misses),
+            "query_cache_entries": float(len(self._entries)),
+            "query_cache_invalidations": float(self.invalidations),
+        }

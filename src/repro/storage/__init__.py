@@ -16,7 +16,11 @@ lessons which this substrate bakes in:
 from repro.storage.schema import BINGO_SCHEMA, Column, RelationSchema
 from repro.storage.database import Database, Relation
 from repro.storage.bulkloader import BulkLoader, Workspace
-from repro.storage.persistence import dump_database, load_database
+from repro.storage.persistence import (
+    dump_database,
+    load_database,
+    sync_term_statistics,
+)
 
 __all__ = [
     "BINGO_SCHEMA",
@@ -28,4 +32,5 @@ __all__ = [
     "Workspace",
     "dump_database",
     "load_database",
+    "sync_term_statistics",
 ]

@@ -16,7 +16,13 @@ import pathlib
 from repro.errors import StorageError
 from repro.storage.database import Database
 
-__all__ = ["dump_database", "load_database", "dump_state", "load_state"]
+__all__ = [
+    "dump_database",
+    "load_database",
+    "dump_state",
+    "load_state",
+    "sync_term_statistics",
+]
 
 _MANIFEST = "manifest.json"
 _FORMAT_VERSION = 1
@@ -90,6 +96,32 @@ def load_database(
             )
         relation.bulk_insert(rows)
     return database
+
+
+def sync_term_statistics(database: Database, vectorizer) -> int:
+    """Materialise the idf snapshot into the ``term_statistics`` relation.
+
+    The paper keeps document-frequency statistics in the store so the
+    search side can weight query terms without re-scanning ``terms``;
+    this writes one ``(term, df, idf)`` row per snapshot term from a
+    :class:`~repro.text.vectorizer.TfIdfVectorizer`.  Re-syncing after
+    a retraining replaces the previous snapshot.  Returns the row
+    count.
+    """
+    statistics = vectorizer.statistics
+    relation = database.table("term_statistics")
+    for row in relation.scan():
+        relation.delete(term=row["term"])
+    count = 0
+    snapshot_df = statistics.snapshot_df
+    for term in sorted(snapshot_df):
+        relation.insert({
+            "term": term,
+            "df": int(snapshot_df[term]),
+            "idf": float(statistics.idf(term)),
+        })
+        count += 1
+    return count
 
 
 def dump_state(

@@ -135,6 +135,11 @@ class CorpusStatistics:
         for the version they were computed under."""
         return self._snapshot_version
 
+    @property
+    def snapshot_df(self) -> Mapping[str, int]:
+        """The document frequencies of the current idf snapshot."""
+        return self._snapshot_df
+
     def idf(self, term: str) -> float:
         """Log-dampened inverse document frequency from the snapshot.
 

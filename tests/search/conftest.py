@@ -15,6 +15,7 @@ def make_doc(
     topic: str = "ROOT/databases",
     confidence: float = 0.5,
     url: str | None = None,
+    final_url: str | None = None,
     out_urls: tuple[str, ...] = (),
     host: str | None = None,
 ) -> CrawledDocument:
@@ -22,7 +23,7 @@ def make_doc(
     return CrawledDocument(
         doc_id=doc_id,
         url=url,
-        final_url=url,
+        final_url=final_url or url,
         page_id=doc_id,
         host=host or f"site{doc_id}.example",
         ip=f"10.0.0.{doc_id}",

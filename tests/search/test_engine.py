@@ -93,3 +93,98 @@ class TestCombinedRanking:
     def test_empty_candidate_set(self, corpus) -> None:
         engine = LocalSearchEngine(corpus)
         assert engine.search("recovery", topic="ROOT/nothing") == []
+
+
+class TestRedirectAuthority:
+    def test_links_through_redirects_reach_their_target(self) -> None:
+        # the target was fetched at a redirecting url: links carry the
+        # *pre-redirect* url, the document is stored under final_url
+        target = make_doc(
+            10, {"data": 1},
+            url="http://t.example/old",
+            final_url="http://t.example/new",
+        )
+        pointers = [
+            make_doc(11 + i, {"data": 1}, out_urls=("http://t.example/old",))
+            for i in range(3)
+        ]
+        engine = LocalSearchEngine([target, *pointers])
+        weights = RankingWeights(cosine=0.0, authority=1.0)
+        hits = engine.search("data", weights=weights)
+        # before the fix url_to_doc only knew final urls, so all three
+        # edges were dropped and the graph had no authority signal
+        assert hits[0].document.doc_id == 10
+        assert hits[0].authority == 1.0
+
+    def test_final_url_mapping_wins_on_collision(self) -> None:
+        # doc 20's raw url collides with doc 21's final url; the
+        # canonical (final-url) owner receives the edges
+        loser = make_doc(
+            20, {"data": 1},
+            url="http://shared.example/page",
+            final_url="http://elsewhere.example/page",
+        )
+        winner = make_doc(
+            21, {"data": 1},
+            url="http://w.example/start",
+            final_url="http://shared.example/page",
+        )
+        pointer = make_doc(
+            22, {"data": 1}, out_urls=("http://shared.example/page",)
+        )
+        engine = LocalSearchEngine([loser, winner, pointer])
+        weights = RankingWeights(cosine=0.0, authority=1.0)
+        hits = engine.search("data", weights=weights)
+        assert hits[0].document.doc_id == 21
+
+
+class TestFailedQueryAccounting:
+    def test_failed_query_counts_and_accumulates_latency(self, corpus) -> None:
+        engine = LocalSearchEngine(corpus)
+        with pytest.raises(SearchError):
+            engine.search("the and of")
+        assert engine.queries == 1
+        assert engine.queries_failed == 1
+        assert engine.query_seconds > 0.0
+        engine.search("recovery")
+        assert engine.queries == 2
+        assert engine.queries_failed == 1
+
+    def test_invalid_weights_also_counted(self, corpus) -> None:
+        engine = LocalSearchEngine(corpus)
+        with pytest.raises(SearchError):
+            engine.search("recovery", weights=RankingWeights(cosine=-1.0))
+        assert engine.queries_failed == 1
+        stats = engine.stats()
+        assert stats["queries"] == 1.0
+        assert stats["queries_failed"] == 1.0
+
+    def test_failed_query_counter_reaches_registry(self, corpus) -> None:
+        from repro.obs import Obs
+
+        obs = Obs()
+        engine = LocalSearchEngine(corpus, obs=obs)
+        with pytest.raises(SearchError):
+            engine.search("the and of")
+        assert obs.registry.value("search_queries_total") == 1.0
+        assert obs.registry.value("search_queries_failed_total") == 1.0
+
+
+class TestMinMaxNormalize:
+    def test_degenerate_range_maps_to_zero(self) -> None:
+        from repro.search.engine import _min_max_normalize
+
+        assert _min_max_normalize({1: 0.7, 2: 0.7}) == {1: 0.0, 2: 0.0}
+        assert _min_max_normalize({1: 0.7}) == {1: 0.0}
+        assert _min_max_normalize({}) == {}
+
+    def test_single_candidate_gets_no_free_confidence(self, corpus) -> None:
+        # one candidate in the filter: before the fix its normalised
+        # confidence was 1.0 -- full marks for no discrimination at all
+        engine = LocalSearchEngine(corpus)
+        weights = RankingWeights(cosine=0.5, confidence=0.5)
+        hits = engine.search(
+            "sport", topic="ROOT/OTHERS", weights=weights
+        )
+        assert len(hits) == 1
+        assert hits[0].confidence == 0.0

@@ -1,0 +1,209 @@
+"""The serving tier: rate limits, idempotency, caching, Zipfian load."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SearchError
+from repro.obs import Obs
+from repro.search.engine import LocalSearchEngine
+from repro.search.serving import (
+    LoadConfig,
+    QueryRequest,
+    QueryServer,
+    TokenBucket,
+    build_query_pool,
+    percentile,
+    run_query_load,
+)
+from repro.web.clock import SimulatedClock
+
+
+def request(
+    request_id: str = "r1",
+    client_id: str = "alice",
+    query: str = "recovery",
+    **kwargs,
+) -> QueryRequest:
+    return QueryRequest(
+        client_id=client_id, request_id=request_id, query=query, **kwargs
+    )
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self) -> None:
+        bucket = TokenBucket(capacity=2.0, refill_rate=1.0)
+        assert bucket.try_acquire(0.0)
+        assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.5)  # only half a token back
+        assert bucket.try_acquire(1.5)
+        assert not bucket.try_acquire(1.5)
+
+    def test_refill_caps_at_capacity(self) -> None:
+        bucket = TokenBucket(capacity=3.0, refill_rate=10.0)
+        for _ in range(3):
+            assert bucket.try_acquire(100.0)
+        assert not bucket.try_acquire(100.0)
+
+    def test_time_never_rewinds(self) -> None:
+        bucket = TokenBucket(capacity=1.0, refill_rate=1.0)
+        assert bucket.try_acquire(10.0)
+        # an out-of-order earlier timestamp must not mint tokens
+        assert not bucket.try_acquire(5.0)
+        assert bucket.updated == 10.0
+
+    def test_rejects_bad_parameters(self) -> None:
+        with pytest.raises(SearchError):
+            TokenBucket(capacity=0.0, refill_rate=1.0)
+        with pytest.raises(SearchError):
+            TokenBucket(capacity=1.0, refill_rate=-1.0)
+
+
+@pytest.fixture()
+def server(corpus) -> QueryServer:
+    engine = LocalSearchEngine(corpus)
+    return QueryServer(engine, clock=SimulatedClock(), rate=5.0, burst=3.0)
+
+
+class TestIdempotency:
+    def test_replay_returns_stored_response_without_rerun(self, server) -> None:
+        first = server.handle(request("r1"))
+        assert first.ok
+        queries_before = server.engine.queries
+        tokens_before = server._buckets["alice"].tokens
+        replay = server.handle(request("r1"))
+        assert replay is first  # the very same response object
+        assert server.engine.queries == queries_before
+        assert server._buckets["alice"].tokens == tokens_before
+        assert server.replayed == 1
+
+    def test_failed_queries_are_stored_for_replay(self, server) -> None:
+        first = server.handle(request("r1", query="the and of"))
+        assert first.status == "failed"
+        assert first.error is not None
+        failed_before = server.engine.queries_failed
+        assert server.handle(request("r1", query="the and of")) is first
+        assert server.engine.queries_failed == failed_before
+
+    def test_rejected_requests_are_not_stored(self, server) -> None:
+        for sequence in range(3):
+            assert server.handle(request(f"r{sequence}")).ok
+        rejected = server.handle(request("r-limited"))
+        assert rejected.status == "rejected"
+        assert ("alice", "r-limited") not in server._responses
+        # the retry succeeds once the bucket refills
+        server.clock.advance(1.0)
+        retried = server.handle(request("r-limited"))
+        assert retried.ok
+        assert ("alice", "r-limited") in server._responses
+
+    def test_buckets_are_per_client(self, server) -> None:
+        for sequence in range(3):
+            assert server.handle(request(f"a{sequence}")).ok
+        assert server.handle(request("a3")).status == "rejected"
+        # bob has a fresh bucket
+        assert server.handle(request("b0", client_id="bob")).ok
+
+
+class TestResultCache:
+    def test_second_client_hits_the_cache(self, server) -> None:
+        miss = server.handle(request("r1", client_id="alice"))
+        hit = server.handle(request("r2", client_id="bob"))
+        assert not miss.cached
+        assert hit.cached
+        assert hit.hits == miss.hits
+        assert server.engine.queries == 1  # ranked exactly once
+        assert hit.latency < miss.latency  # cached service cost is lower
+
+    def test_distinct_parameters_do_not_collide(self, server) -> None:
+        server.handle(request("r1", top_k=5))
+        response = server.handle(request("r2", top_k=7))
+        assert not response.cached
+
+    def test_engine_refresh_invalidates(self, server) -> None:
+        server.handle(request("r1"))
+        server.engine.refresh()
+        response = server.handle(request("r2"))
+        assert not response.cached
+        assert server.engine.queries == 2
+
+    def test_explicit_invalidate(self, server) -> None:
+        server.handle(request("r1"))
+        server.invalidate_cache()
+        assert not server.handle(request("r2")).cached
+        assert server.cache.stats()["query_cache_invalidations"] == 1.0
+
+
+class TestObservability:
+    def test_counters_and_latency_histogram(self, corpus) -> None:
+        obs = Obs()
+        engine = LocalSearchEngine(corpus, obs=obs)
+        server = QueryServer(
+            engine, clock=SimulatedClock(), obs=obs, rate=100.0, burst=100.0
+        )
+        server.handle(request("r1"))
+        server.handle(request("r1"))  # replay
+        server.handle(request("r2", client_id="bob"))  # cache hit
+        registry = obs.registry
+        assert registry.value("serving_requests_total") == 3.0
+        assert registry.value("serving_replayed_total") == 1.0
+        snapshot = registry.snapshot()
+        assert "serving_latency_seconds" in snapshot["histograms"]
+        assert snapshot["sources"]["serving"]["requests"] == 3.0
+        assert snapshot["sources"]["serving"]["query_cache_hits"] == 1.0
+
+
+class TestQueryPool:
+    def test_deterministic_pool(self, corpus) -> None:
+        first = build_query_pool(corpus, size=16, seed=3)
+        second = build_query_pool(corpus, size=16, seed=3)
+        assert first == second
+        assert len(first) == 16
+        assert build_query_pool(corpus, size=16, seed=4) != first
+
+    def test_empty_corpus_rejected(self) -> None:
+        with pytest.raises(SearchError):
+            build_query_pool([])
+
+
+class TestQueryLoad:
+    def make_server(self, corpus) -> QueryServer:
+        engine = LocalSearchEngine(corpus)
+        return QueryServer(
+            engine, clock=SimulatedClock(), rate=20.0, burst=10.0
+        )
+
+    def test_deterministic_replay(self, corpus) -> None:
+        config = LoadConfig(requests=200, clients=4, seed=11)
+        pool = build_query_pool(corpus, seed=11)
+        first = run_query_load(self.make_server(corpus), pool, config)
+        second = run_query_load(self.make_server(corpus), pool, config)
+        assert first.summary() == second.summary()
+        assert first.latencies == second.latencies
+
+    def test_outcome_accounting_is_complete(self, corpus) -> None:
+        config = LoadConfig(requests=300, clients=3, seed=5)
+        pool = build_query_pool(corpus, seed=5)
+        report = run_query_load(self.make_server(corpus), pool, config)
+        assert report.requests == 300
+        assert (
+            report.ok + report.rejected + report.replayed + report.failed
+            == report.requests
+        )
+        assert report.ok > 0
+        assert report.replayed > 0  # retry_fraction exercises idempotency
+        assert report.cache_hits > 0  # Zipf head repeats queries
+        assert report.sim_elapsed > 0
+        assert report.qps > 0
+        summary = report.summary()
+        assert (
+            summary["latency_p50"]
+            <= summary["latency_p95"]
+            <= summary["latency_p99"]
+        )
+
+    def test_percentile_edges(self) -> None:
+        assert percentile([], 0.5) == 0.0
+        assert percentile([3.0], 0.99) == 3.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 3.0

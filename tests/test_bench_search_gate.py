@@ -1,0 +1,64 @@
+"""The search-benchmark regression gate (pure logic, no timing).
+
+``benchmarks/run_search.py --check`` guards the indexed-vs-brute
+speedup ratios plus an absolute acceptance floor on the p50 latency
+speedup; these tests drive
+:func:`~benchmarks.run_search.check_regression` directly with synthetic
+payloads so every gate (and every tolerance edge) is exercised without
+timing anything.
+"""
+
+from __future__ import annotations
+
+from benchmarks.run_search import MIN_P50_SPEEDUP, check_regression
+
+
+def payload(speedup_p50=12.0, speedup_qps=10.0) -> dict:
+    return {
+        "schema": 1,
+        "latency": {
+            "speedup_p50": speedup_p50,
+            "speedup_qps": speedup_qps,
+        },
+    }
+
+
+def test_identical_run_passes() -> None:
+    assert check_regression(payload(), payload(), 0.30) == []
+
+
+def test_floor_is_checked_without_a_baseline() -> None:
+    assert check_regression(payload(), None, 0.30) == []
+    failures = check_regression(payload(speedup_p50=4.0), None, 0.30)
+    assert len(failures) == 1
+    assert "acceptance floor" in failures[0]
+    assert MIN_P50_SPEEDUP == 5.0
+
+
+def test_small_drift_within_tolerance_passes() -> None:
+    current = payload(speedup_p50=9.0, speedup_qps=7.5)
+    assert check_regression(current, payload(), 0.30) == []
+
+
+def test_p50_ratio_regression_fails() -> None:
+    failures = check_regression(payload(speedup_p50=7.0), payload(), 0.30)
+    assert len(failures) == 1
+    assert "p50 latency speedup" in failures[0]
+
+
+def test_qps_ratio_regression_fails() -> None:
+    failures = check_regression(payload(speedup_qps=5.0), payload(), 0.30)
+    assert len(failures) == 1
+    assert "throughput speedup" in failures[0]
+
+
+def test_floor_and_ratio_both_reported() -> None:
+    current = payload(speedup_p50=3.0, speedup_qps=2.0)
+    failures = check_regression(current, payload(), 0.30)
+    assert len(failures) == 3  # floor + both ratios
+    assert any("acceptance floor" in line for line in failures)
+
+
+def test_missing_baseline_fields_are_skipped() -> None:
+    baseline = {"schema": 1, "latency": {}}
+    assert check_regression(payload(), baseline, 0.30) == []
