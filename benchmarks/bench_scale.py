@@ -1,0 +1,47 @@
+"""Sharded-crawl scaling: simulated pages/s vs worker count.
+
+The same portal crawl runs at 1, 2, 4 and 8 host-partitioned workers
+over the 100k+ page scale Web.  More workers shrink the simulated
+makespan (each worker owns its own fetch pool) while every run crawls
+the exact same pages -- Table-1 must be bit-identical across the
+curve, which is the sharding determinism contract.
+
+Results are written machine-readably to
+``benchmarks/results/BENCH_scale.json``; CI gates the curve via
+``benchmarks/run_scale.py``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import ExperimentTable
+
+from benchmarks.conftest import record_json, record_table
+from benchmarks.scale_runner import run_all
+
+
+def test_scale_curve() -> None:
+    results = run_all()
+    record_json("BENCH_scale", results)
+
+    table = ExperimentTable(
+        "Sharded crawl scaling (simulated time, identical results)",
+        ["Workers", "Simulated s", "Pages/sim-s", "Speedup", "Wall s"],
+        note="simulated time is deterministic; wall time grows with N "
+             "and is context only",
+    )
+    for run in results["runs"]:
+        table.add_row([
+            str(run["workers"]),
+            f"{run['simulated_seconds']}",
+            f"{run['pages_per_sim_s']}",
+            f"{run['speedup']}x",
+            f"{run['wall_seconds']}",
+        ])
+    record_table("scale_curve", table.render())
+
+    assert results["table1_identical"], results
+    assert results["monotone"], [
+        run["pages_per_sim_s"] for run in results["runs"]
+    ]
+    # 8 pooled workers must beat 1 by a real margin, not noise
+    assert results["max_speedup"] > 1.5, results

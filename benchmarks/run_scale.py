@@ -1,0 +1,139 @@
+"""Standalone sharded-crawl scale benchmark runner (CI scale job).
+
+Writes ``benchmarks/results/BENCH_scale.json`` and, with ``--check``,
+gates the scaling curve against a committed baseline:
+
+    PYTHONPATH=src:. python benchmarks/run_scale.py \
+        --check benchmarks/results/BENCH_scale.json --max-regression 0.30
+
+Two gates need no baseline at all (they are self-consistency
+properties of one run, and always enforced):
+
+* ``table1_identical`` -- every worker count must crawl the exact same
+  pages; sharding buys time, never different results;
+* ``monotone`` -- pages per simulated second must be non-decreasing in
+  the worker count.
+
+Against a baseline the ``max_speedup`` ratio (N=1 simulated makespan /
+N=max simulated makespan) is checked.  Simulated time is deterministic,
+so unlike the wall-clock benchmarks this ratio should reproduce
+*exactly* on any machine; the tolerance only absorbs intentional
+scheduler changes small enough to accept silently.
+
+``--parity-smoke`` runs the fast N=1 vs N=4 Table-1 comparison on a
+small healthy Web instead of the full scale sweep (exit 1 on any
+mismatch) -- the cheap CI stand-in for tests/shard/test_parity.py.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+if __package__ in (None, ""):  # allow `python benchmarks/run_scale.py`
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.scale_runner import run_all, run_parity_smoke
+
+DEFAULT_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_scale.json"
+
+
+def check_self_consistency(current: dict) -> list[str]:
+    """Baseline-free failure lines (empty list = healthy run)."""
+    failures = []
+    if not current.get("table1_identical", False):
+        failures.append(
+            "table1_identical is false: worker counts disagreed on what "
+            "to crawl -- the sharding determinism contract is broken"
+        )
+    if not current.get("monotone", False):
+        rates = [run["pages_per_sim_s"] for run in current.get("runs", [])]
+        failures.append(
+            f"pages_per_sim_s is not monotone in the worker count: {rates}"
+        )
+    return failures
+
+
+def check_regression(
+    current: dict, baseline: dict, max_regression: float
+) -> list[str]:
+    """Human-readable failure lines (empty list = no regression)."""
+    failures = []
+    old = baseline.get("max_speedup")
+    if old is not None:
+        new = current.get("max_speedup", 0.0)
+        floor = old * (1.0 - max_regression)
+        if new < floor:
+            failures.append(
+                f"scale curve: max speedup {new:.2f}x fell below "
+                f"{floor:.2f}x (baseline {old:.2f}x - "
+                f"{max_regression:.0%} tolerance)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=DEFAULT_OUT,
+        help="where to write the results JSON",
+    )
+    parser.add_argument(
+        "--check", type=pathlib.Path, default=None, metavar="BASELINE",
+        help="baseline JSON to compare the scaling curve against",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.30,
+        help="allowed fractional drop of the max speedup (default 0.30)",
+    )
+    parser.add_argument(
+        "--parity-smoke", action="store_true",
+        help="run only the fast N=1 vs N=4 Table-1 parity check "
+             "(no JSON written, exit 1 on mismatch)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.parity_smoke:
+        smoke = run_parity_smoke()
+        print(json.dumps(smoke, indent=2))
+        if not smoke["identical"]:
+            print(
+                f"\nPARITY BROKEN: N=1 and N={smoke['workers']} produced "
+                "different Table-1 counters",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"\nparity ok: N=1 == N={smoke['workers']}")
+        return 0
+
+    baseline = None
+    if args.check is not None:
+        if not args.check.is_file():
+            print(f"baseline not found: {args.check}", file=sys.stderr)
+            return 2
+        baseline = json.loads(args.check.read_text())
+
+    results = run_all()
+    print(json.dumps(results, indent=2))
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    failures = check_self_consistency(results)
+    if baseline is not None:
+        failures += check_regression(results, baseline, args.max_regression)
+    if failures:
+        print("\nREGRESSION:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    if baseline is not None:
+        print("regression check passed against", args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,170 @@
+"""Workload builders + runners for the sharded-crawl scale benchmark.
+
+Produces the machine-readable payload written to
+``benchmarks/results/BENCH_scale.json``: the same portal crawl run at
+1, 2, 4 and 8 workers over the 100k+ page / 1k+ host scale Web
+(:func:`repro.web.scale_web_config`), reporting the simulated-time
+throughput curve.
+
+Two properties of the sharded runtime make the numbers CI-gateable:
+
+* **pages per simulated second is deterministic** -- the clock is
+  simulated, so the curve is a property of the scheduler, not of the
+  machine the benchmark ran on; the regression check in
+  ``run_scale.py`` can therefore be strict about it;
+* **decisions are worker-count-invariant** -- on the healthy scale Web
+  every run must produce the *same* Table-1 row; ``table1_identical``
+  is part of the payload and gated, so a scheduling change that buys
+  throughput by changing what gets crawled cannot land silently.
+
+Wall-clock seconds are included per run but only as context: real time
+*grows* with worker count (more per-pop scheduling work), which is the
+expected price of the simulated-makespan win.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.kernel_runner import _crawl_config
+from repro.core import BingoConfig, BingoEngine
+from repro.web import SyntheticWeb, WebGraphConfig, scale_web_config
+
+__all__ = [
+    "WORKER_COUNTS",
+    "build_scale_web",
+    "scale_crawl_config",
+    "run_scale_crawl",
+    "run_parity_smoke",
+    "run_all",
+]
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+#: threads per worker for the scale runs.  Small enough that a single
+#: worker's pool is the bottleneck (so adding workers buys simulated
+#: time), large enough that the curve reflects real fetch concurrency.
+THREADS_PER_WORKER = 4
+
+HARVEST_BUDGET = 2000
+
+
+def build_scale_web(seed: int = 7) -> SyntheticWeb:
+    """The 100k+ page / 1k+ host scale Web (healthy, distinct domains)."""
+    return SyntheticWeb.generate(scale_web_config(seed=seed))
+
+
+def scale_crawl_config(workers: int, **overrides) -> BingoConfig:
+    return _crawl_config(
+        crawl_workers=workers,
+        crawler_threads=THREADS_PER_WORKER,
+        **overrides,
+    )
+
+
+def run_scale_crawl(
+    web: SyntheticWeb,
+    workers: int,
+    harvesting_fetch_budget: int = HARVEST_BUDGET,
+) -> dict:
+    """One full portal run at ``workers``; throughput from the harvest
+    phase (the learning phase is budget-bound and identical anyway)."""
+    engine = BingoEngine.for_portal(web, config=scale_crawl_config(workers))
+    start = time.perf_counter()
+    report = engine.run(harvesting_fetch_budget=harvesting_fetch_budget)
+    wall = time.perf_counter() - start
+    harvest = report.phases[-1].stats
+    return {
+        "workers": workers,
+        "visited_urls": harvest.visited_urls,
+        "simulated_seconds": round(harvest.simulated_seconds, 3),
+        "pages_per_sim_s": round(
+            harvest.visited_urls / harvest.simulated_seconds, 3
+        ),
+        "wall_seconds": round(wall, 2),
+        "table1": report.table1_row(),
+    }
+
+
+def run_parity_smoke(
+    workers: int = 4, harvesting_fetch_budget: int = 150, seed: int = 7
+) -> dict:
+    """Fast N=1 vs N=``workers`` Table-1 comparison on a small healthy
+    Web (no slow or error hosts, so no clock-coupled decisions).
+
+    This is the CI entry point for the sharding determinism contract;
+    the exhaustive version lives in ``tests/shard/test_parity.py``.
+    """
+
+    smoke_config = WebGraphConfig(
+        seed=seed,
+        target_researchers=40,
+        other_researchers=12,
+        universities=10,
+        hubs_per_topic=3,
+        background_hosts_per_category=3,
+        pages_per_background_host=3,
+        directory_pages_per_category=4,
+        slow_host_rate=0.0,
+        error_host_rate=0.0,
+    )
+
+    def one_run(n: int) -> dict:
+        web = SyntheticWeb.generate(smoke_config)
+        engine = BingoEngine.for_portal(web, config=scale_crawl_config(n))
+        report = engine.run(
+            harvesting_fetch_budget=harvesting_fetch_budget
+        )
+        return report.table1_row()
+
+    baseline = one_run(1)
+    sharded = one_run(workers)
+    return {
+        "workers": workers,
+        "baseline_table1": baseline,
+        "sharded_table1": sharded,
+        "identical": baseline == sharded,
+    }
+
+
+def run_all(
+    worker_counts: tuple[int, ...] = WORKER_COUNTS,
+    harvesting_fetch_budget: int = HARVEST_BUDGET,
+    seed: int = 7,
+) -> dict:
+    """The full BENCH_scale.json payload.
+
+    The Web is generated once and reused across worker counts: on a
+    healthy Web fetch outcomes are (seed, url)-deterministic, so server
+    fetch counters carried over from a previous run cannot change any
+    decision -- and ``table1_identical`` would catch it if they did.
+    """
+    web = build_scale_web(seed=seed)
+    runs = [
+        run_scale_crawl(
+            web, workers, harvesting_fetch_budget=harvesting_fetch_budget
+        )
+        for workers in worker_counts
+    ]
+    base = runs[0]
+    for run in runs:
+        run["speedup"] = round(
+            base["simulated_seconds"] / run["simulated_seconds"], 3
+        )
+    rates = [run["pages_per_sim_s"] for run in runs]
+    return {
+        "schema": 1,
+        "web": {
+            "pages": len(web.pages),
+            "hosts": len(web.hosts),
+            "seed": seed,
+        },
+        "harvest_budget": harvesting_fetch_budget,
+        "threads_per_worker": THREADS_PER_WORKER,
+        "runs": runs,
+        "max_speedup": runs[-1]["speedup"],
+        "monotone": all(a <= b for a, b in zip(rates, rates[1:])),
+        "table1_identical": all(
+            run["table1"] == base["table1"] for run in runs
+        ),
+    }

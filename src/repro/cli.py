@@ -4,7 +4,7 @@ Five subcommands mirror the repository's deliverables::
 
     python -m repro.cli portal    --seed 17 --short 700 --long 6000
     python -m repro.cli expert    --seed 7  --budget 700
-    python -m repro.cli crawl     --seed 7  --budget 1000 --export-portal out/
+    python -m repro.cli crawl     --seed 7  --budget 1000 --workers 4
     python -m repro.cli queryload --seed 7  --budget 400 --requests 500
     python -m repro.cli ablate    --which focus archetypes negatives features
 
@@ -54,6 +54,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     crawl.add_argument("--seed", type=int, default=7)
     crawl.add_argument("--budget", type=int, default=1000)
+    crawl.add_argument("--workers", type=int, default=1,
+                       help="crawl workers (host-partitioned sharding; "
+                            "N>1 crawls faster in simulated time with "
+                            "bit-identical results)")
     crawl.add_argument("--topic", default=None,
                        help="target topic (default: the web's target)")
     crawl.add_argument("--export-portal", metavar="DIR", default=None,
@@ -134,7 +138,8 @@ def _cmd_crawl(args) -> int:
     web = SyntheticWeb.generate(WebGraphConfig(seed=args.seed))
     topics = [args.topic] if args.topic else None
     engine = BingoEngine.for_portal(
-        web, topics=topics, config=BingoConfig(seed=args.seed)
+        web, topics=topics,
+        config=BingoConfig(seed=args.seed, crawl_workers=args.workers),
     )
     report = engine.run(harvesting_fetch_budget=args.budget)
     for key, value in report.table1_row().items():

@@ -50,6 +50,17 @@ class BingoConfig:
     """Every knob of the BINGO! engine."""
 
     # -- crawler concurrency and politeness (paper 5.1) ------------------
+    crawl_workers: int = 1
+    """Crawl workers (repro.shard): the frontier, breaker boards, fetch
+    pools and storage workspaces are hash-partitioned by host onto this
+    many per-worker slices.  Each worker gets its own pool of
+    ``crawler_threads`` simulated threads; crawl *decisions* are
+    bit-identical for any worker count (the N=1 vs N=8 Table-1 parity
+    guarantee), only simulated wall-clock time shrinks."""
+    shard_barrier_interval: int = 0
+    """Committed micro-batches between merge barriers in a sharded
+    crawl (global flush + barrier hooks for link-analysis and archetype
+    waves); 0 runs barriers only at phase boundaries."""
     crawler_threads: int = 15
     max_parallel_per_host: int = 2
     max_parallel_per_domain: int = 5
@@ -220,6 +231,10 @@ class BingoConfig:
     def validate(self) -> None:
         if self.crawler_threads < 1:
             raise ConfigError("crawler_threads must be >= 1")
+        if self.crawl_workers < 1:
+            raise ConfigError("crawl_workers must be >= 1")
+        if self.shard_barrier_interval < 0:
+            raise ConfigError("shard_barrier_interval must be >= 0")
         if self.max_tunnelling_distance < 0:
             raise ConfigError("max_tunnelling_distance must be >= 0")
         if not 0.0 < self.tunnel_priority_decay <= 1.0:

@@ -31,7 +31,27 @@ from dataclasses import dataclass, field
 
 from repro.core.rbtree import RedBlackTree
 
-__all__ = ["QueueEntry", "CrawlFrontier"]
+__all__ = ["QueueEntry", "SequenceSource", "CrawlFrontier"]
+
+
+class SequenceSource:
+    """A shared admission counter.
+
+    Every frontier admission draws a fresh, globally unique sequence
+    number; priority ties break on it (FIFO).  Sharded frontiers
+    (:mod:`repro.shard`) hand one source to all their shards so keys
+    stay totally ordered *across* shards -- the property that makes the
+    N-worker pop order identical to the single-frontier pop order.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def next(self) -> int:
+        self.value += 1
+        return self.value
 
 
 @dataclass(frozen=True)
@@ -86,11 +106,22 @@ class CrawlFrontier:
         refill_batch: int = 50,
         prefetch: Callable[[str], bool] | None = None,
         now: Callable[[], float] | None = None,
+        sequence: SequenceSource | None = None,
+        managed: bool = False,
     ) -> None:
         """``prefetch(url) -> bool`` warms the DNS cache for a promising
         candidate; returning False drops the URL (unresolvable host).
         ``now()`` supplies the simulated time that gates deferred
-        entries; without it every entry is considered ready."""
+        entries; without it every entry is considered ready.
+
+        ``sequence`` injects a shared admission counter (sharded
+        frontiers pass one :class:`SequenceSource` to every shard).
+        ``managed`` marks this frontier as one shard of a
+        :class:`repro.shard.ShardedFrontier`: overflow eviction and
+        deferred release are then coordinated *globally* by the owner
+        (per-topic limits span all shards), so the shard itself never
+        evicts on admission.
+        """
         if incoming_limit < 1 or outgoing_limit < 1 or refill_batch < 1:
             raise ValueError("queue limits and refill batch must be >= 1")
         self.incoming_limit = incoming_limit
@@ -98,16 +129,27 @@ class CrawlFrontier:
         self.refill_batch = refill_batch
         self.prefetch = prefetch
         self.now = now or (lambda: float("inf"))
+        self.managed = managed
         self._queues: dict[str, _TopicQueues] = {}
         self._seen_urls: set[str] = set()
-        self._sequence = 0
+        self._seq = sequence or SequenceSource()
         self._deferred: list[tuple[float, int, QueueEntry]] = []
+        self._deferred_counts: dict[str, int] = {}
         # statistics
         self.enqueued = 0
         self.duplicate_drops = 0
         self.evictions = 0
         self.dns_drops = 0
         self.deferred_total = 0
+
+    @property
+    def _sequence(self) -> int:
+        """Last sequence number drawn (kept for snapshot/test compat)."""
+        return self._seq.value
+
+    @_sequence.setter
+    def _sequence(self, value: int) -> None:
+        self._seq.value = value
 
     # -- write side ---------------------------------------------------------
 
@@ -132,17 +174,24 @@ class CrawlFrontier:
         self._admit(entry)
 
     def _admit(self, entry: QueueEntry) -> None:
-        self._sequence += 1
+        sequence = self._seq.next()
         if entry.not_before > self.now():
             heapq.heappush(
-                self._deferred, (entry.not_before, self._sequence, entry)
+                self._deferred, (entry.not_before, sequence, entry)
             )
             self.deferred_total += 1
+            self._deferred_counts[entry.topic] = (
+                self._deferred_counts.get(entry.topic, 0) + 1
+            )
             return
+        self._insert_incoming(entry, sequence)
+
+    def _insert_incoming(self, entry: QueueEntry, sequence: int) -> None:
+        """Insert under ``(priority, -sequence)``; evict on overflow
+        unless a shard coordinator owns the (then global) limit."""
         queues = self._queues.setdefault(entry.topic, _TopicQueues())
-        key = (entry.priority, -self._sequence)
-        queues.incoming.insert(key, entry)
-        if len(queues.incoming) > self.incoming_limit:
+        queues.incoming.insert((entry.priority, -sequence), entry)
+        if not self.managed and len(queues.incoming) > self.incoming_limit:
             queues.incoming.pop_min()  # evict the worst candidate
             self.evictions += 1
 
@@ -152,14 +201,7 @@ class CrawlFrontier:
         """Move deferred entries whose time has come into the queues."""
         now = self.now()
         while self._deferred and self._deferred[0][0] <= now:
-            _ready_at, _seq, entry = heapq.heappop(self._deferred)
-            queues = self._queues.setdefault(entry.topic, _TopicQueues())
-            self._sequence += 1
-            key = (entry.priority, -self._sequence)
-            queues.incoming.insert(key, entry)
-            if len(queues.incoming) > self.incoming_limit:
-                queues.incoming.pop_min()
-                self.evictions += 1
+            self.release_head_deferred()
 
     def _refill(self, queues: _TopicQueues) -> None:
         """Move the best incoming links to outgoing, prefetching DNS."""
@@ -204,6 +246,91 @@ class CrawlFrontier:
         """Earliest ``not_before`` among deferred entries, or None."""
         return self._deferred[0][0] if self._deferred else None
 
+    # -- shard-coordination primitives (used by repro.shard) ------------------
+    #
+    # A ShardedFrontier never calls ``pop`` on its shards.  It drives
+    # them through the primitives below so that deferred release order,
+    # refill gating, overflow eviction and the final pop are decided at
+    # *global* granularity -- reproducing the single-frontier semantics
+    # exactly (same shared sequence source, same keys, same order).
+
+    def deferred_head(self) -> tuple[float, int] | None:
+        """``(not_before, sequence)`` of the earliest deferred entry.
+
+        Sequences are globally unique, so comparing heads across shards
+        reproduces the order one global deferred heap would release in.
+        """
+        if not self._deferred:
+            return None
+        ready_at, sequence, _entry = self._deferred[0]
+        return ready_at, sequence
+
+    def release_head_deferred(self) -> QueueEntry:
+        """Pop the earliest deferred entry into its incoming queue.
+
+        The released entry draws a *fresh* sequence number, exactly as
+        :meth:`_release_ready` always did -- release order is admission
+        order for the purposes of later priority ties.
+        """
+        _ready_at, _seq, entry = heapq.heappop(self._deferred)
+        self._deferred_counts[entry.topic] -= 1
+        self._insert_incoming(entry, self._seq.next())
+        return entry
+
+    def incoming_size(self, topic: str) -> int:
+        queues = self._queues.get(topic)
+        return len(queues.incoming) if queues is not None else 0
+
+    def outgoing_size(self, topic: str) -> int:
+        queues = self._queues.get(topic)
+        return len(queues.outgoing) if queues is not None else 0
+
+    def peek_best_incoming(self, topic: str) -> tuple | None:
+        """Highest incoming ``(priority, -sequence)`` key, or None."""
+        queues = self._queues.get(topic)
+        if queues is None or not queues.incoming:
+            return None
+        key, _entry = queues.incoming.peek_max()
+        return key
+
+    def peek_worst_incoming(self, topic: str) -> tuple | None:
+        """Lowest incoming key (the overflow-eviction victim), or None."""
+        queues = self._queues.get(topic)
+        if queues is None or not queues.incoming:
+            return None
+        key, _entry = queues.incoming.peek_min()
+        return key
+
+    def evict_worst_incoming(self, topic: str) -> None:
+        """Drop the worst incoming candidate (global-limit overflow)."""
+        self._queues[topic].incoming.pop_min()
+        self.evictions += 1
+
+    def move_best_incoming_to_outgoing(self, topic: str) -> bool:
+        """One refill step: pop the best incoming entry, prefetch its
+        DNS, move it to outgoing.  False means the prefetch dropped it
+        (charged to ``dns_drops``; the step does not count as a move,
+        mirroring the ``continue`` in :meth:`_refill`)."""
+        queues = self._queues[topic]
+        key, entry = queues.incoming.pop_max()
+        if self.prefetch is not None and not self.prefetch(entry.url):
+            self.dns_drops += 1
+            return False
+        queues.outgoing.insert(key, entry)
+        return True
+
+    def peek_best_outgoing(self, topic: str) -> tuple | None:
+        """Highest outgoing key, or None."""
+        queues = self._queues.get(topic)
+        if queues is None or not queues.outgoing:
+            return None
+        key, _entry = queues.outgoing.peek_max()
+        return key
+
+    def pop_best_outgoing(self, topic: str) -> QueueEntry:
+        _key, entry = self._queues[topic].outgoing.pop_max()
+        return entry
+
     # -- introspection --------------------------------------------------------
 
     def __len__(self) -> int:
@@ -216,8 +343,11 @@ class CrawlFrontier:
         )
 
     def pending_for(self, topic: str) -> int:
+        # deferred entries are tallied per topic on admission/release,
+        # so this stays O(1) instead of scanning the deferred heap --
+        # it runs on every pop retry, once per frontier shard
+        deferred = self._deferred_counts.get(topic, 0)
         queues = self._queues.get(topic)
-        deferred = sum(1 for _, _, e in self._deferred if e.topic == topic)
         if queues is None:
             return deferred
         return len(queues.incoming) + len(queues.outgoing) + deferred
@@ -225,17 +355,22 @@ class CrawlFrontier:
     def has_seen(self, url: str) -> bool:
         return url in self._seen_urls
 
-    def counters(self) -> dict[str, int]:
-        """The frontier's admission statistics as one dict (for logs,
-        benchmarks and parity assertions)."""
+    def stats(self) -> dict[str, float]:
+        """Admission statistics (the obs ``Instrumented`` protocol);
+        per-worker frontiers export through the MetricsRegistry here."""
         return {
-            "size": len(self),
-            "enqueued": self.enqueued,
-            "duplicate_drops": self.duplicate_drops,
-            "evictions": self.evictions,
-            "dns_drops": self.dns_drops,
-            "deferred_total": self.deferred_total,
+            "size": float(len(self)),
+            "enqueued": float(self.enqueued),
+            "duplicate_drops": float(self.duplicate_drops),
+            "evictions": float(self.evictions),
+            "dns_drops": float(self.dns_drops),
+            "deferred_total": float(self.deferred_total),
         }
+
+    def counters(self) -> dict[str, int]:
+        """Integer alias of :meth:`stats` (for logs, benchmarks and
+        parity assertions)."""
+        return {name: int(value) for name, value in self.stats().items()}
 
     @property
     def topics(self) -> list[str]:
@@ -280,7 +415,7 @@ class CrawlFrontier:
 
     def restore(self, state: dict) -> None:
         """Rebuild the frontier from a :meth:`snapshot` image."""
-        self._sequence = state["sequence"]
+        self._seq.value = state["sequence"]
         self.enqueued = state["enqueued"]
         self.duplicate_drops = state["duplicate_drops"]
         self.evictions = state["evictions"]
@@ -300,3 +435,8 @@ class CrawlFrontier:
             for ready_at, seq, entry in state["deferred"]
         ]
         heapq.heapify(self._deferred)
+        self._deferred_counts = {}
+        for _ready_at, _seq, entry in self._deferred:
+            self._deferred_counts[entry.topic] = (
+                self._deferred_counts.get(entry.topic, 0) + 1
+            )

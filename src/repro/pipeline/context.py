@@ -27,6 +27,7 @@ from repro.obs import Obs
 from repro.perf.text import TermInterner
 from repro.robust.breaker import BreakerBoard
 from repro.robust.faults import FaultInjector
+from repro.shard import WorkerSet
 from repro.text.features import TermSpace
 from repro.text.handlers import default_registry
 from repro.web.clock import SimulatedClock, WorkerPool
@@ -93,15 +94,36 @@ class CrawlContext:
             self.clock,
             seed=self.config.seed,
         )
-        self.frontier = CrawlFrontier(
-            incoming_limit=self.config.incoming_queue_limit,
-            outgoing_limit=self.config.outgoing_queue_limit,
-            refill_batch=self.config.outgoing_refill_batch,
-            prefetch=self.prefetch_dns,
-            now=lambda: self.clock.now,
-        )
+        self.workers: WorkerSet | None = None
+        """The sharded runtime (:class:`repro.shard.WorkerSet`) when
+        ``crawl_workers > 1``; None keeps the historical single-worker
+        objects -- and their checkpoint format -- bit-for-bit."""
+        if self.config.crawl_workers > 1:
+            self.workers = WorkerSet(
+                self.config.crawl_workers,
+                clock=self.clock,
+                threads_per_worker=self.config.crawler_threads,
+                incoming_limit=self.config.incoming_queue_limit,
+                outgoing_limit=self.config.outgoing_queue_limit,
+                refill_batch=self.config.outgoing_refill_batch,
+                breaker_policy=self.config.breaker_policy(),
+                prefetch=self.prefetch_dns,
+                obs=self.obs,
+            )
+            self.frontier = self.workers.frontier
+            self.hosts = self.workers.hosts
+        else:
+            self.frontier = CrawlFrontier(
+                incoming_limit=self.config.incoming_queue_limit,
+                outgoing_limit=self.config.outgoing_queue_limit,
+                refill_batch=self.config.outgoing_refill_batch,
+                prefetch=self.prefetch_dns,
+                now=lambda: self.clock.now,
+            )
+            self.hosts = BreakerBoard(
+                self.config.breaker_policy(), obs=self.obs
+            )
         self.dedup = DuplicateDetector()
-        self.hosts = BreakerBoard(self.config.breaker_policy(), obs=self.obs)
         self.domains: dict[str, DomainState] = {}
         self.retry_policy = self.config.retry_policy()
         self.retry_log: list[dict] = []
@@ -130,6 +152,11 @@ class CrawlContext:
                 server.faults = self.faults
 
         self.obs.register_source("robust", self.hosts)
+        self.obs.register_source("frontier", self.frontier)
+        if self.workers is not None:
+            self.obs.register_source("shard", self.workers)
+            for worker in self.workers.slices:
+                self.obs.register_source(f"shard_w{worker.index}", worker)
         self.obs.register_source("text", self.interner)
         if hasattr(self.classifier, "stats"):
             self.obs.register_source("perf", self.classifier)
@@ -188,6 +215,42 @@ class CrawlContext:
         now = self.clock.now
         state.busy_until = [t for t in state.busy_until if t > now]
         return len(state.busy_until) < self.config.max_parallel_per_domain
+
+    # ------------------------------------------------------------------
+    # fetch scheduling / merge barriers (repro.shard)
+    # ------------------------------------------------------------------
+
+    def run_fetch(self, host: str, duration: float) -> tuple[float, float]:
+        """Schedule a fetch on the pool that owns ``host`` -- the single
+        shared pool, or the host's worker pool in a sharded crawl."""
+        if self.workers is not None:
+            return self.workers.run_fetch(host, duration)
+        return self.pool.run(duration)
+
+    def drain_pools(self) -> float:
+        """Advance the clock until every fetch pool is idle."""
+        if self.workers is not None:
+            return self.workers.drain()
+        return self.pool.drain()
+
+    def shard_barrier(self) -> None:
+        """Merge barrier: every worker's committed state is flushed and
+        the global-phase hooks (link analysis, archetype promotion
+        waves) run against the merged view."""
+        if self.workers is None:
+            return
+        if self.loader is not None:
+            self.loader.flush_all()
+        self.workers.run_barrier()
+        self.obs.registry.counter("shard_barriers_total").inc()
+
+    def maybe_shard_barrier(self) -> None:
+        """Count one committed micro-batch; run the periodic merge
+        barrier when ``shard_barrier_interval`` commits have passed."""
+        if self.workers is None:
+            return
+        if self.workers.note_commit(self.config.shard_barrier_interval):
+            self.shard_barrier()
 
     # ------------------------------------------------------------------
     # retry / deferral scheduling (repro.robust)
@@ -253,21 +316,26 @@ class CrawlContext:
     # storage
     # ------------------------------------------------------------------
 
-    def workspace_for(self, key: int) -> int:
+    def workspace_for(self, key: int, host: str | None = None) -> int:
         """The bulk-loader workspace a row shards into.
 
         Every producer routes through this one helper so fetch-log rows
         (keyed by log sequence) and document rows (keyed by doc id)
-        agree on the sharding scheme.
+        agree on the sharding scheme.  In a sharded crawl each worker
+        owns a contiguous range of ``crawler_threads`` workspaces and
+        ``host`` picks the range, so a host's rows stay worker-local.
         """
+        if self.workers is not None and host is not None:
+            return self.workers.workspace_for(key, host)
         return key % self.config.crawler_threads
 
-    def log_fetch(self, url: str, status: str, latency: float) -> None:
+    def log_fetch(self, url: str, status: str, latency: float,
+                  host: str | None = None) -> None:
         if self.loader is None:
             return
         self.log_sequence += 1
         self.loader.add(
-            self.workspace_for(self.log_sequence),
+            self.workspace_for(self.log_sequence, host),
             "crawl_log",
             {
                 "seq": self.log_sequence,

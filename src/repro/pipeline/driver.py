@@ -224,6 +224,10 @@ class CrawlPipeline:
                     )
             if batch:
                 self._commit(batch, parent=round_span)
+                # sharded crawls count committed micro-batches and run
+                # the periodic merge barrier here, at a point where no
+                # worker holds an in-flight batch
+                ctx.maybe_shard_barrier()
             if round_span is not None:
                 tracer.finish(round_span)
                 self.batch_index += 1
@@ -233,7 +237,7 @@ class CrawlPipeline:
             if checkpointer is not None:
                 for _ in range(pops):
                     checkpointer.on_visit(checkpoint_target, stats)
-        ctx.pool.drain()
+        ctx.drain_pools()
         stats.simulated_seconds = base_seconds + (ctx.clock.now - started_at)
         if ctx.loader is not None:
             ctx.loader.flush_all()

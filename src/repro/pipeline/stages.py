@@ -200,14 +200,16 @@ class FetchStage:
             duration = (
                 dns.latency + result.latency + ctx.config.processing_cost
             )
-            start, end = ctx.pool.run(duration)
+            start, end = ctx.run_fetch(parsed.host, duration)
             host_state.busy_until.append(end)
             host_state.note_fetch_end(end)
             ctx.domain_state(parsed.domain).busy_until.append(end)
             stats.visited_urls += 1
             stats.hosts_visited.add(parsed.host)
             stats.max_depth = max(stats.max_depth, entry.depth)
-            ctx.log_fetch(actual_url, result.status, result.latency)
+            ctx.log_fetch(
+                actual_url, result.status, result.latency, host=parsed.host
+            )
             item.fetched_at = ctx.clock.now
 
             if result.status in (FetchStatus.TIMEOUT, FetchStatus.HTTP_ERROR):
@@ -446,7 +448,7 @@ class PersistStage:
     def _store_rows(self, ctx, document, html_doc) -> None:
         if ctx.loader is None:
             return
-        workspace = ctx.workspace_for(document.doc_id)
+        workspace = ctx.workspace_for(document.doc_id, document.host)
         ctx.loader.add(workspace, "documents", {
             "doc_id": document.doc_id,
             "url": document.url,
@@ -547,7 +549,7 @@ class ExpandStage:
                 continue
             if ctx.dedup.is_known_url(url):
                 continue
-            ctx.frontier.push(
+            admitted = ctx.frontier.push(
                 QueueEntry(
                     url=url,
                     topic=topic,
@@ -558,3 +560,6 @@ class ExpandStage:
                     referrer_doc_id=document.doc_id,
                 )
             )
+            if admitted and ctx.workers is not None:
+                # cross-shard link handoff accounting (obs only)
+                ctx.workers.note_link(document.host, parsed.host)

@@ -115,10 +115,16 @@ def _document_from_dict(data: dict):
 # ----------------------------------------------------------------------
 
 def snapshot_context(ctx, stats) -> dict:
-    """The complete serializable runtime state of one crawl context."""
+    """The complete serializable runtime state of one crawl context.
+
+    For sharded crawls (``crawl_workers > 1``) the frontier and host
+    snapshots are composites with one slice per worker, and a
+    ``workers`` section captures each worker pool plus the worker-set
+    counters; an N=1 context keeps the historical format untouched.
+    """
     ctx = _context_of(ctx)
     server = ctx.web.server
-    return {
+    state = {
         "clock_now": ctx.clock.now,
         "pool_free_at": list(ctx.pool._free_at),
         "resolver": ctx.resolver.snapshot(),
@@ -140,6 +146,19 @@ def snapshot_context(ctx, stats) -> dict:
         "converted_formats": dict(ctx.converted_formats),
         "retry_log": list(ctx.retry_log),
     }
+    workers = getattr(ctx, "workers", None)
+    if workers is not None:
+        state["workers"] = {
+            "count": workers.count,
+            "pool_free_at": [
+                list(pool._free_at) for pool in workers.pools
+            ],
+            "commits": workers.commits,
+            "barriers": workers.barriers,
+            "cross_shard_links": workers.cross_shard_links,
+            "local_links": workers.local_links,
+        }
+    return state
 
 
 def snapshot_crawler(crawler, stats) -> dict:
@@ -190,6 +209,23 @@ def restore_context(ctx, source, restore_database: bool = True):
     else:
         state = source
 
+    # validate the sharding shape before mutating anything: a mismatch
+    # would re-route hosts onto different shards and silently break the
+    # determinism contract
+    workers = getattr(ctx, "workers", None)
+    worker_state = state.get("workers")
+    if (workers is None) != (worker_state is None):
+        raise ValueError(
+            "checkpoint and context disagree on sharding -- resume with "
+            "the same crawl_workers the checkpoint was saved with"
+        )
+    if workers is not None and worker_state["count"] != workers.count:
+        raise ValueError(
+            f"checkpoint has {worker_state['count']} workers, this "
+            f"context has {workers.count} -- resume with the same "
+            "crawl_workers"
+        )
+
     ctx.clock.now = state["clock_now"]
     ctx.pool._free_at = list(state["pool_free_at"])
     heapq.heapify(ctx.pool._free_at)
@@ -214,6 +250,17 @@ def restore_context(ctx, source, restore_database: bool = True):
     ctx.log_sequence = state["log_sequence"]
     ctx.converted_formats = Counter(state["converted_formats"])
     ctx.retry_log = list(state["retry_log"])
+
+    if workers is not None and worker_state is not None:
+        for pool, free_at in zip(
+            workers.pools, worker_state["pool_free_at"]
+        ):
+            pool._free_at = list(free_at)
+            heapq.heapify(pool._free_at)
+        workers.commits = worker_state["commits"]
+        workers.barriers = worker_state["barriers"]
+        workers.cross_shard_links = worker_state["cross_shard_links"]
+        workers.local_links = worker_state["local_links"]
 
     if (
         restore_database

@@ -1,0 +1,48 @@
+"""Stable host-hash -> worker-id routing.
+
+Every placement decision in the sharded runtime (which frontier shard
+admits a URL, which breaker board tracks a host, which worker pool
+fetches, which workspace range stores the rows) flows through one
+:class:`ShardRouter`, so they can never disagree.
+
+The hash is BLAKE2b over the host name -- *not* Python's builtin
+``hash``, whose per-process salting the repo's determinism rules ban --
+so the partition is identical across runs, machines and checkpoints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.web.urls import parse_url
+
+__all__ = ["ShardRouter"]
+
+
+class ShardRouter:
+    """Deterministic host -> worker-id partition for N workers."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"worker count must be >= 1, got {workers}")
+        self.workers = workers
+        self._cache: dict[str, int] = {}
+
+    def shard_of(self, host: str) -> int:
+        """The worker id owning ``host`` (stable across runs)."""
+        shard = self._cache.get(host)
+        if shard is None:
+            digest = hashlib.blake2b(
+                host.encode("utf-8"), digest_size=8
+            ).digest()
+            shard = int.from_bytes(digest, "big") % self.workers
+            self._cache[host] = shard
+        return shard
+
+    def shard_of_url(self, url: str) -> int:
+        """The worker id owning ``url``'s host (0 for unparseable URLs,
+        which the admit stage rejects deterministically anyway)."""
+        parsed = parse_url(url)
+        if parsed is None:
+            return 0
+        return self.shard_of(parsed.host)

@@ -17,6 +17,7 @@ from repro.web.generator import (
     default_expert_config,
     generate_expert_web,
     generate_web,
+    scale_web_config,
 )
 from repro.web.model import Host, MimeType, PageRole, PageSpec, Researcher
 from repro.web.server import FetchResult, FetchStatus, SimulatedServer
@@ -67,5 +68,6 @@ __all__ = [
     "join_url",
     "normalize_url",
     "parse_url",
+    "scale_web_config",
     "url_hash",
 ]

@@ -32,7 +32,13 @@ from repro.errors import ConfigError
 from repro.web.model import Host, MimeType, PageRole, PageSpec, Researcher
 from repro.web.vocab import TopicUniverse, WordFactory
 
-__all__ = ["WebGraphConfig", "GeneratedWeb", "generate_web", "generate_expert_web"]
+__all__ = [
+    "WebGraphConfig",
+    "GeneratedWeb",
+    "generate_web",
+    "generate_expert_web",
+    "scale_web_config",
+]
 
 RESEARCH_CATEGORY = "research"
 
@@ -81,6 +87,14 @@ class WebGraphConfig:
     mean_latency_high: float = 3.0
     vocab_sibling_overlap: float = 0.25
     """Fraction of each topic's vocabulary shared with sibling topics."""
+    distinct_domains: bool = False
+    """Give every generated host its own registrable domain.
+
+    By default all universities share ``edu.example`` (and hubs
+    ``org.example``, background sites ``com.example``), so the
+    per-domain politeness cap serializes large crawls no matter how
+    many hosts exist.  The scale scenario flips this on so throughput
+    is bounded by worker capacity, not by a single shared domain."""
     interdisciplinary_rate: float = 0.0
     """Fraction of researchers whose pages blend a second research topic
     (the paper's 'heterogeneous senior researcher homepage' that can
@@ -140,6 +154,18 @@ class _Builder:
                 self._next_ip[i] = 1
                 self._next_ip[i - 1] += 1
         return ip
+
+    def host_name(self, label: str, suffix: str) -> str:
+        """The hostname for ``label`` under the shared ``suffix`` zone.
+
+        With ``distinct_domains`` every label becomes its own
+        registrable domain (``label.example``); otherwise the label
+        nests under the suffix exactly as the historical layout did, so
+        all existing goldens stay byte-identical.
+        """
+        if self.config.distinct_domains:
+            return f"{label}.example"
+        return f"{label}.{suffix}"
 
     def add_host(self, name: str, locked: bool = False) -> Host:
         cfg = self.config
@@ -247,7 +273,8 @@ def _build_researchers(builder: _Builder, web: GeneratedWeb) -> None:
     """Create universities, researchers and their page clusters."""
     config = builder.config
     universities = [
-        builder.add_host(f"u{i}.edu.example") for i in range(config.universities)
+        builder.add_host(builder.host_name(f"u{i}", "edu.example"))
+        for i in range(config.universities)
     ]
     author_id = 0
     for topic in config.research_topics:
@@ -418,7 +445,9 @@ def _build_hubs(builder: _Builder, web: GeneratedWeb) -> None:
     for topic in config.research_topics:
         web.hub_page_ids[topic] = []
         for i in range(config.hubs_per_topic):
-            host = builder.add_host(f"conf-{topic}-{i}.org.example")
+            host = builder.add_host(
+                builder.host_name(f"conf-{topic}-{i}", "org.example")
+            )
             hub = builder.add_page(
                 host.name, "/index.html", PageRole.HUB, topic,
                 specificity=0.25, length=int(builder.rng.integers(150, 300)),
@@ -466,7 +495,9 @@ def _build_background(builder: _Builder, web: GeneratedWeb) -> None:
     for category in config.background_categories:
         pages: list[PageSpec] = []
         for i in range(config.background_hosts_per_category):
-            host = builder.add_host(f"www.{category}{i}.com.example")
+            host = builder.add_host(
+                builder.host_name(f"www.{category}{i}", "com.example")
+            )
             for j in range(config.pages_per_background_host):
                 pages.append(
                     builder.add_page(
@@ -603,6 +634,33 @@ def generate_web(config: WebGraphConfig | None = None) -> GeneratedWeb:
     _build_registry(builder, web)
     _build_traps_and_media(builder, web)
     return web
+
+
+def scale_web_config(seed: int = 7) -> WebGraphConfig:
+    """A 100k+ page / 1k+ host Web for the sharded-crawl scale benchmark.
+
+    Sized so the crawl is worker-bound rather than politeness-bound:
+    every host gets its own registrable domain (``distinct_domains``)
+    and the failure knobs are off, so the pages/s-vs-workers curve in
+    ``benchmarks/run_scale.py`` measures scheduling capacity, not
+    retry/backoff noise, and Table-1 counters stay bit-identical across
+    worker counts.
+    """
+    return WebGraphConfig(
+        seed=seed,
+        target_researchers=8000,
+        other_researchers=2400,
+        universities=1000,
+        hubs_per_topic=12,
+        background_hosts_per_category=40,
+        pages_per_background_host=10,
+        directory_pages_per_category=30,
+        slow_host_rate=0.0,
+        error_host_rate=0.0,
+        mean_latency_low=0.2,
+        mean_latency_high=1.2,
+        distinct_domains=True,
+    )
 
 
 # ---------------------------------------------------------------------------

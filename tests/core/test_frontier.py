@@ -218,3 +218,126 @@ class TestSnapshotRestore:
         restored = CrawlFrontier()
         restored.restore(json.loads(blob))
         assert restored.pop().url == "http://a/"
+
+    def test_deferred_heap_round_trip_preserves_release_order(self) -> None:
+        """A restored frontier releases and pops deferred entries in the
+        exact original order -- including ``not_before`` ties, whose
+        order is carried by the heap's admission sequence numbers."""
+        clock = _Clock(0.0)
+        frontier = CrawlFrontier(now=lambda: clock.now)
+        # three tie groups, interleaved admissions, mixed priorities:
+        # within a released batch pops go by priority, and the snapshot
+        # must not perturb either ordering
+        ready_ats = [20.0, 10.0, 20.0, 10.0, 30.0, 10.0, 20.0, 30.0]
+        for i, ready in enumerate(ready_ats):
+            frontier.push(
+                QueueEntry(url=f"http://d{i}/", topic="t",
+                           priority=float(i % 3), depth=0,
+                           not_before=ready)
+            )
+        frontier.push(entry("http://ready/", priority=0.5))
+        assert frontier.deferred_total == len(ready_ats)
+
+        state = frontier.snapshot()
+        restored = CrawlFrontier(now=lambda: clock.now)
+        restored.restore(state)
+        assert restored._deferred_counts == frontier._deferred_counts
+        assert restored.next_ready_at() == frontier.next_ready_at() == 10.0
+
+        order_a, order_b = [], []
+        for now in (10.0, 20.0, 30.0):
+            clock.now = now
+            while (e := frontier.pop()) is not None:
+                order_a.append(e.url)
+            while (e := restored.pop()) is not None:
+                order_b.append(e.url)
+        assert order_b == order_a
+        assert len(order_a) == len(ready_ats) + 1
+        assert restored.counters() == frontier.counters()
+
+    def test_mid_release_snapshot_keeps_remaining_deferred_order(self) -> None:
+        """Snapshotting after *some* deferred entries were released must
+        keep the not-yet-released remainder (and the sequence counter)
+        intact, so later releases tie-break identically."""
+        clock = _Clock(0.0)
+        frontier = CrawlFrontier(now=lambda: clock.now)
+        for i in range(6):
+            frontier.push(
+                QueueEntry(url=f"http://d{i}/", topic="t", priority=1.0,
+                           depth=0, not_before=10.0 * (1 + i % 2))
+            )
+        clock.now = 10.0
+        first = frontier.pop()  # releases the 10.0 group
+        assert first is not None
+
+        state = frontier.snapshot()
+        restored = CrawlFrontier(now=lambda: clock.now)
+        restored.restore(state)
+        assert restored._sequence == frontier._sequence
+
+        clock.now = 20.0
+        remaining_a, remaining_b = [], []
+        while (e := frontier.pop()) is not None:
+            remaining_a.append(e.url)
+        while (e := restored.pop()) is not None:
+            remaining_b.append(e.url)
+        assert remaining_b == remaining_a
+
+
+class TestStatsProtocol:
+    def test_stats_keys_and_counters_alias(self) -> None:
+        clock = _Clock(0.0)
+        frontier = CrawlFrontier(now=lambda: clock.now)
+        frontier.push(entry("http://a/"))
+        frontier.push(entry("http://a/"))  # duplicate
+        frontier.push(
+            QueueEntry(url="http://b/", topic="t", priority=1.0, depth=0,
+                       not_before=99.0)
+        )
+        stats = frontier.stats()
+        assert stats == {
+            "size": 2.0,
+            "enqueued": 2.0,
+            "duplicate_drops": 1.0,
+            "evictions": 0.0,
+            "dns_drops": 0.0,
+            "deferred_total": 1.0,
+        }
+        assert all(isinstance(v, float) for v in stats.values())
+        counters = frontier.counters()
+        assert counters == {k: int(v) for k, v in stats.items()}
+        assert all(isinstance(v, int) for v in counters.values())
+
+
+class TestDeferredCounts:
+    """pending_for's per-topic deferred tally (no heap scan)."""
+
+    def test_counts_track_admission_release_and_restore(self) -> None:
+        clock = _Clock(0.0)
+        frontier = CrawlFrontier(now=lambda: clock.now)
+        for i in range(4):
+            frontier.push(
+                QueueEntry(url=f"http://a{i}/", topic="t1", priority=1.0,
+                           depth=0, not_before=10.0)
+            )
+        frontier.push(
+            QueueEntry(url="http://b/", topic="t2", priority=1.0, depth=0,
+                       not_before=20.0)
+        )
+        frontier.push(entry("http://now/", topic="t1"))
+        assert frontier.pending_for("t1") == 5
+        assert frontier.pending_for("t2") == 1
+        assert frontier.pending_for("t3") == 0
+
+        clock.now = 10.0
+        for _ in range(5):  # the four released plus the ready one
+            assert frontier.pop() is not None
+        assert frontier.pending_for("t1") == 0
+        assert frontier.pending_for("t2") == 1
+        assert frontier._deferred_counts["t1"] == 0
+
+        state = frontier.snapshot()
+        restored = CrawlFrontier(now=lambda: clock.now)
+        restored.restore(state)
+        assert restored.pending_for("t2") == 1
+        assert restored._deferred_counts == {"t2": 1}
