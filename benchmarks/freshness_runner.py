@@ -1,0 +1,271 @@
+"""Workload builders + runners for the freshness-vs-budget benchmark.
+
+Produces the machine-readable payload written to
+``benchmarks/results/BENCH_freshness.json``: the same portal crawl kept
+alive against the same deterministic web-evolution schedule, recrawled
+at increasing per-cycle revisit budgets, reporting how stale the served
+corpus ends up.
+
+Three properties make the numbers CI-gateable without a tolerance
+band:
+
+* **the evolution schedule is budget-invariant** -- every run advances
+  the simulated clock to the same absolute tick boundaries, so each
+  budget faces the *identical* sequence of mutations, deaths, births
+  and link rot;
+* **freshness lag is monotone** -- at a fixed measurement horizon, a
+  larger revisit budget can only refresh more: the unfreshness count
+  and the total accumulated lag must be non-increasing in the budget;
+* **incremental folds are bit-identical** -- after the full sweep the
+  incrementally maintained search engine (idf statistics, vectors,
+  ranked results) is compared against a from-scratch rebuild over the
+  same served documents; any mismatch fails the run.
+
+A separate **non-evolving baseline** recrawls a frozen web and asserts
+the portal is a no-op there: no delta, no epoch churn, the stored
+corpus (the Table-1 counters' substrate) unchanged record-for-record.
+"""
+
+from __future__ import annotations
+
+from repro.core import BingoConfig, BingoEngine
+from repro.portal import EvolutionConfig, LivingPortal
+from repro.search.engine import LocalSearchEngine
+from repro.web import SyntheticWeb, WebGraphConfig
+
+__all__ = [
+    "BUDGETS",
+    "build_portal",
+    "run_budget",
+    "incremental_gate",
+    "run_baseline",
+    "run_all",
+]
+
+BUDGETS = (0, 15, 40, 90)
+CYCLES = 3
+CYCLE_SECONDS = 3600.0
+EVOLUTION_SEED = 11
+HARVEST_BUDGET = 400
+
+QUERIES = (
+    "database recovery algorithms",
+    "transaction log index",
+)
+
+
+def _portal_web(seed: int = 7) -> SyntheticWeb:
+    return SyntheticWeb.generate(
+        WebGraphConfig(
+            seed=seed,
+            target_researchers=40,
+            other_researchers=12,
+            universities=10,
+            hubs_per_topic=3,
+            background_hosts_per_category=3,
+            pages_per_background_host=3,
+            directory_pages_per_category=4,
+        )
+    )
+
+
+def build_portal(
+    seed: int = 7, workers: int = 1, frozen: bool = False
+) -> LivingPortal:
+    """A freshly crawled portal over a fresh web (identical per seed).
+
+    ``frozen`` zeroes every evolution rate: ticks still apply but no
+    page ever mutates, dies, is born or loses a link -- the Table-1
+    no-op baseline.
+    """
+    web = _portal_web(seed)
+    engine = BingoEngine.for_portal(
+        web,
+        config=BingoConfig(
+            seed=seed,
+            crawl_workers=workers,
+            learning_fetch_budget=80,
+            retrain_interval=50,
+            negative_examples=15,
+            selected_features=300,
+            tf_preselection=1000,
+        ),
+    )
+    engine.run(harvesting_fetch_budget=HARVEST_BUDGET)
+    evolution_config = EvolutionConfig(seed=EVOLUTION_SEED)
+    if frozen:
+        evolution_config = EvolutionConfig(
+            seed=EVOLUTION_SEED,
+            mutation_rate=0.0,
+            death_rate=0.0,
+            birth_rate=0.0,
+            link_rot_rate=0.0,
+        )
+    portal = LivingPortal(
+        engine,
+        evolution_config=evolution_config,
+        workers=workers,
+    )
+    return portal.open()
+
+
+def run_budget(
+    budget: int,
+    cycles: int = CYCLES,
+    cycle_seconds: float = CYCLE_SECONDS,
+    seed: int = 7,
+) -> tuple[dict, LivingPortal]:
+    """One full lifecycle at ``budget`` revisits per cycle.
+
+    The clock is advanced to *absolute* targets (``crawl end + k *
+    cycle_seconds``) rather than by relative increments, so recrawl
+    fetch latencies cannot drift the tick schedule: every budget sees
+    the same evolution history and the freshness reports (taken at the
+    shared final target) are directly comparable.
+    """
+    portal = build_portal(seed=seed)
+    base = portal.clock.now
+    fetched = changed = dead = discovered = 0
+    for k in range(1, cycles + 1):
+        portal.clock.advance_to(base + k * cycle_seconds)
+        portal.evolution.advance_to(portal.clock.now)
+        cycle = portal.recrawl(budget)
+        fetched += cycle.recrawl.fetched
+        changed += cycle.recrawl.changed
+        dead += cycle.recrawl.dead
+        discovered += cycle.recrawl.discovered
+    horizon = base + cycles * cycle_seconds
+    report = portal.freshness(at=horizon)
+    lag_sum = report.lag_mean * (report.stale_documents + report.dead_indexed)
+    record = {
+        "budget": budget,
+        "ticks": portal.evolution.applied_tick,
+        "fetched": fetched,
+        "changed": changed,
+        "dead": dead,
+        "discovered": discovered,
+        "documents": report.documents,
+        "fresh": report.fresh_documents,
+        "stale": report.stale_documents,
+        "dead_indexed": report.dead_indexed,
+        "unfresh": report.unfresh,
+        "lag_mean": round(report.lag_mean, 3),
+        "lag_max": round(report.lag_max, 3),
+        "lag_sum": round(lag_sum, 3),
+        "epoch_ordinal": portal.search.epoch.ordinal,
+        "epoch_generation": portal.search.epoch.generation,
+    }
+    return record, portal
+
+
+def incremental_gate(portal: LivingPortal) -> dict:
+    """Bit-for-bit: the incrementally folded engine vs a full rebuild.
+
+    Compares live and snapshot df statistics, every vector weight, and
+    the ranked results (ids, scores, order) of the smoke queries.
+    """
+    incremental = portal.search
+    rebuilt = LocalSearchEngine(incremental.documents)
+    ours, theirs = (
+        incremental.vectorizer.statistics,
+        rebuilt.vectorizer.statistics,
+    )
+    df_identical = (
+        ours.document_count == theirs.document_count
+        and dict(ours.document_frequency) == dict(theirs.document_frequency)
+        and dict(ours.snapshot_df) == dict(theirs.snapshot_df)
+    )
+    vectors_identical = (
+        incremental._vectors.keys() == rebuilt._vectors.keys()
+        and all(
+            incremental._vectors[doc_id].weights
+            == rebuilt._vectors[doc_id].weights
+            for doc_id in incremental._vectors
+        )
+    )
+    queries_identical = True
+    for query in QUERIES:
+        for top_k in (5, 10):
+            mine = [
+                (h.document.doc_id, h.score)
+                for h in incremental.search(query, top_k=top_k)
+            ]
+            reference = [
+                (h.document.doc_id, h.score)
+                for h in rebuilt.search(query, top_k=top_k)
+            ]
+            if mine != reference:
+                queries_identical = False
+    return {
+        "df_identical": df_identical,
+        "vectors_identical": vectors_identical,
+        "queries_identical": queries_identical,
+        "identical": df_identical and vectors_identical and queries_identical,
+    }
+
+
+def run_baseline(
+    cycles: int = CYCLES, budget: int = 40, seed: int = 7
+) -> dict:
+    """Recrawl a frozen (never-evolving) web: must be a strict no-op."""
+    portal = build_portal(seed=seed, frozen=True)
+    before = [
+        (d.doc_id, d.final_url, d.topic)
+        for d in portal.ctx.documents
+    ]
+    epoch_before = portal.search.epoch
+    deltas_empty = True
+    for _ in range(cycles):
+        portal.evolve(CYCLE_SECONDS)  # ticks apply, every rate is zero
+        cycle = portal.recrawl(budget)
+        if cycle.search is not None or cycle.recrawl.changed:
+            deltas_empty = False
+    after = [
+        (d.doc_id, d.final_url, d.topic)
+        for d in portal.ctx.documents
+    ]
+    report = portal.freshness()
+    return {
+        "cycles": cycles,
+        "budget": budget,
+        "deltas_empty": deltas_empty,
+        "corpus_unchanged": before == after,
+        "epoch_unchanged": portal.search.epoch == epoch_before,
+        "fully_fresh": report.unfresh == 0,
+        "unchanged": (
+            deltas_empty
+            and before == after
+            and portal.search.epoch == epoch_before
+            and report.unfresh == 0
+        ),
+    }
+
+
+def run_all(
+    budgets: tuple[int, ...] = BUDGETS,
+    cycles: int = CYCLES,
+    seed: int = 7,
+) -> dict:
+    """The full BENCH_freshness.json payload."""
+    runs = []
+    last_portal = None
+    for budget in budgets:
+        record, portal = run_budget(budget, cycles=cycles, seed=seed)
+        runs.append(record)
+        last_portal = portal
+    unfresh = [run["unfresh"] for run in runs]
+    lag_sums = [run["lag_sum"] for run in runs]
+    return {
+        "schema": 1,
+        "cycles": cycles,
+        "cycle_seconds": CYCLE_SECONDS,
+        "evolution_seed": EVOLUTION_SEED,
+        "harvest_budget": HARVEST_BUDGET,
+        "runs": runs,
+        "freshness_monotone": (
+            all(a >= b for a, b in zip(unfresh, unfresh[1:]))
+            and all(a >= b for a, b in zip(lag_sums, lag_sums[1:]))
+        ),
+        "incremental": incremental_gate(last_portal),
+        "baseline": run_baseline(cycles=cycles, seed=seed),
+    }

@@ -1,0 +1,145 @@
+"""Standalone freshness benchmark runner (CI freshness job).
+
+Writes ``benchmarks/results/BENCH_freshness.json`` and, with
+``--check``, gates the freshness curve against a committed baseline:
+
+    PYTHONPATH=src:. python benchmarks/run_freshness.py \
+        --check benchmarks/results/BENCH_freshness.json \
+        --max-regression 0.25
+
+Three gates need no baseline at all (self-consistency properties of
+one run, always enforced):
+
+* ``freshness_monotone`` -- at the shared measurement horizon, the
+  unfreshness count and total accumulated lag must be non-increasing
+  in the recrawl budget: paying more revisits can never serve staler;
+* ``incremental.identical`` -- the incrementally folded search engine
+  (df statistics, idf snapshot, vectors, ranked results) must be
+  bit-identical to a from-scratch rebuild over the served documents;
+* ``baseline.unchanged`` -- recrawling a frozen (never-evolving) web
+  must be a strict no-op: empty deltas, unchanged corpus records,
+  unchanged epoch, fully fresh report.
+
+Against a baseline, the max-budget run's ``unfresh`` count and
+``lag_mean`` are checked.  The lifecycle is fully simulated-clock
+deterministic, so these reproduce exactly on any machine; the
+tolerance only absorbs intentional scheduler changes small enough to
+accept silently.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+if __package__ in (None, ""):  # allow `python benchmarks/run_freshness.py`
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.freshness_runner import run_all
+
+DEFAULT_OUT = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_freshness.json"
+)
+
+
+def check_self_consistency(current: dict) -> list[str]:
+    """Baseline-free failure lines (empty list = healthy run)."""
+    failures = []
+    if not current.get("freshness_monotone", False):
+        curve = [
+            (run["budget"], run["unfresh"], run["lag_sum"])
+            for run in current.get("runs", [])
+        ]
+        failures.append(
+            "freshness is not monotone in the recrawl budget: "
+            f"(budget, unfresh, lag_sum) = {curve}"
+        )
+    incremental = current.get("incremental", {})
+    if not incremental.get("identical", False):
+        failures.append(
+            "incremental-equals-rebuild gate failed: "
+            f"{json.dumps(incremental)} -- apply_delta diverged from a "
+            "from-scratch rebuild"
+        )
+    baseline_run = current.get("baseline", {})
+    if not baseline_run.get("unchanged", False):
+        failures.append(
+            "non-evolving baseline was not a no-op: "
+            f"{json.dumps(baseline_run)}"
+        )
+    return failures
+
+
+def check_regression(
+    current: dict, baseline: dict, max_regression: float
+) -> list[str]:
+    """Human-readable failure lines (empty list = no regression)."""
+    failures = []
+    old_runs = baseline.get("runs", [])
+    new_runs = current.get("runs", [])
+    if not old_runs or not new_runs:
+        return failures
+    old, new = old_runs[-1], new_runs[-1]
+    for metric in ("unfresh", "lag_mean"):
+        before = old.get(metric)
+        if before is None:
+            continue
+        ceiling = before * (1.0 + max_regression) + 1e-9
+        after = new.get(metric, float("inf"))
+        if after > ceiling:
+            failures.append(
+                f"freshness curve: max-budget {metric} {after:g} rose "
+                f"above {ceiling:g} (baseline {before:g} + "
+                f"{max_regression:.0%} tolerance)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=DEFAULT_OUT,
+        help="where to write the results JSON",
+    )
+    parser.add_argument(
+        "--check", type=pathlib.Path, default=None, metavar="BASELINE",
+        help="baseline JSON to compare the freshness curve against",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.25,
+        help="allowed fractional rise of max-budget unfreshness "
+             "(default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.check is not None:
+        if not args.check.is_file():
+            print(f"baseline not found: {args.check}", file=sys.stderr)
+            return 2
+        baseline = json.loads(args.check.read_text())
+
+    results = run_all()
+    print(json.dumps(results, indent=2))
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    failures = check_self_consistency(results)
+    if baseline is not None:
+        failures += check_regression(results, baseline, args.max_regression)
+    if failures:
+        print("\nREGRESSION:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    if baseline is not None:
+        print("regression check passed against", args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,12 +1,24 @@
 """Command-line interface: run the paper's workflows from a shell.
 
-Five subcommands mirror the repository's deliverables::
+The portal lifecycle lives under one command group::
 
-    python -m repro.cli portal    --seed 17 --short 700 --long 6000
+    python -m repro.cli portal            --seed 17 --short 700 --long 6000
+    python -m repro.cli portal tables     --seed 17 --short 700 --long 6000
+    python -m repro.cli portal crawl      --seed 7  --budget 1000 --workers 4
+    python -m repro.cli portal queryload  --seed 7  --budget 400 --requests 500
+    python -m repro.cli portal evolve     --seed 7  --budget 400 --seconds 3600
+    python -m repro.cli portal recrawl    --seed 7  --cycles 3 --recrawl-budget 60
+
+(the bare ``portal`` form still runs the Tables 1-3 experiment, exactly
+as before the group existed).  Portal subcommands share ``--workers``
+and ``--metrics-out``.  Standalone experiments keep their own commands::
+
     python -m repro.cli expert    --seed 7  --budget 700
-    python -m repro.cli crawl     --seed 7  --budget 1000 --workers 4
-    python -m repro.cli queryload --seed 7  --budget 400 --requests 500
     python -m repro.cli ablate    --which focus archetypes negatives features
+
+The old top-level ``crawl`` and ``queryload`` commands keep working for
+one release but print a deprecation notice pointing at the ``portal``
+group.
 
 Every run is deterministic given its ``--seed``.
 
@@ -26,6 +38,37 @@ from repro.errors import ReproError
 __all__ = ["build_parser", "main"]
 
 
+def _add_crawl_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--budget", type=int, default=1000)
+    parser.add_argument("--topic", default=None,
+                        help="target topic (default: the web's target)")
+    parser.add_argument("--export-portal", metavar="DIR", default=None,
+                        help="write a static HTML portal to DIR")
+    parser.add_argument("--dump-db", metavar="DIR", default=None,
+                        help="dump the crawl database to DIR (JSON lines)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="number of top results to print")
+
+
+def _add_queryload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--budget", type=int, default=400,
+                        help="harvesting fetch budget of the crawl")
+    parser.add_argument("--requests", type=int, default=500,
+                        help="number of load-generator requests")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="distinct rate-limited clients")
+    parser.add_argument("--arrival-rate", type=float, default=40.0,
+                        help="mean arrivals per simulated second")
+    parser.add_argument("--rate", type=float, default=10.0,
+                        help="per-client token refill rate (tokens/s)")
+    parser.add_argument("--burst", type=float, default=20.0,
+                        help="per-client token-bucket capacity")
+    parser.add_argument("--zipf", type=float, default=1.1,
+                        help="Zipf exponent of query popularity")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -33,14 +76,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # options shared by every portal subcommand
+    shared = argparse.ArgumentParser(add_help=False)
+    shared.add_argument("--workers", type=int, default=1,
+                        help="crawl workers (host-partitioned sharding; "
+                             "N>1 crawls faster in simulated time with "
+                             "bit-identical results)")
+    shared.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the final metrics snapshot to PATH "
+                             "(.prom/.txt: Prometheus text; else JSON)")
+
     portal = sub.add_parser(
-        "portal", help="Tables 1-3: the portal-generation experiment"
+        "portal",
+        help="the portal lifecycle: tables, crawl, queryload, "
+             "evolve, recrawl",
     )
+    # the bare `portal --seed/--short/--long` form (Tables 1-3) predates
+    # the command group and keeps working unchanged
     portal.add_argument("--seed", type=int, default=17)
     portal.add_argument("--short", type=int, default=700,
                         help="fetch budget of the first checkpoint")
     portal.add_argument("--long", type=int, default=6000,
                         help="total fetch budget of the resumed crawl")
+    portal_sub = portal.add_subparsers(dest="portal_command", required=False)
+
+    # `tables` uses SUPPRESS so explicit group-level values (the bare
+    # legacy form) survive the subparser's defaulting pass
+    tables = portal_sub.add_parser(
+        "tables", help="Tables 1-3: the portal-generation experiment",
+        argument_default=argparse.SUPPRESS,
+    )
+    tables.add_argument("--seed", type=int)
+    tables.add_argument("--short", type=int)
+    tables.add_argument("--long", type=int)
+
+    portal_crawl = portal_sub.add_parser(
+        "crawl", parents=[shared],
+        help="run a single portal crawl and print/export results",
+    )
+    _add_crawl_arguments(portal_crawl)
+
+    portal_queryload = portal_sub.add_parser(
+        "queryload", parents=[shared],
+        help="crawl, then drive the query-serving tier with a "
+             "deterministic Zipfian load",
+    )
+    _add_queryload_arguments(portal_queryload)
+
+    evolve = portal_sub.add_parser(
+        "evolve", parents=[shared],
+        help="crawl, then let the web evolve and report freshness decay",
+    )
+    evolve.add_argument("--seed", type=int, default=7)
+    evolve.add_argument("--budget", type=int, default=400,
+                        help="harvesting fetch budget of the crawl")
+    evolve.add_argument("--seconds", type=float, default=3600.0,
+                        help="simulated seconds of web evolution")
+    evolve.add_argument("--evolution-seed", type=int, default=None,
+                        help="evolution schedule seed (default: web seed)")
+
+    recrawl = portal_sub.add_parser(
+        "recrawl", parents=[shared],
+        help="crawl, then run evolve/recrawl cycles keeping the "
+             "index fresh incrementally",
+    )
+    recrawl.add_argument("--seed", type=int, default=7)
+    recrawl.add_argument("--budget", type=int, default=400,
+                         help="harvesting fetch budget of the crawl")
+    recrawl.add_argument("--cycles", type=int, default=3,
+                         help="evolve+recrawl cycles to run")
+    recrawl.add_argument("--seconds", type=float, default=3600.0,
+                         help="simulated seconds of evolution per cycle")
+    recrawl.add_argument("--recrawl-budget", type=int, default=60,
+                         help="revisits scheduled per recrawl cycle")
+    recrawl.add_argument("--evolution-seed", type=int, default=None,
+                         help="evolution schedule seed (default: web seed)")
 
     expert = sub.add_parser(
         "expert", help="Figures 4-5: the expert-search experiment"
@@ -49,50 +159,26 @@ def build_parser() -> argparse.ArgumentParser:
     expert.add_argument("--budget", type=int, default=700,
                         help="harvesting fetch budget")
 
+    # deprecated top-level aliases of `portal crawl` / `portal queryload`
     crawl = sub.add_parser(
-        "crawl", help="run a single portal crawl and print/export results"
+        "crawl",
+        help="deprecated alias of `portal crawl` (one release)",
     )
-    crawl.add_argument("--seed", type=int, default=7)
-    crawl.add_argument("--budget", type=int, default=1000)
     crawl.add_argument("--workers", type=int, default=1,
-                       help="crawl workers (host-partitioned sharding; "
-                            "N>1 crawls faster in simulated time with "
-                            "bit-identical results)")
-    crawl.add_argument("--topic", default=None,
-                       help="target topic (default: the web's target)")
-    crawl.add_argument("--export-portal", metavar="DIR", default=None,
-                       help="write a static HTML portal to DIR")
-    crawl.add_argument("--dump-db", metavar="DIR", default=None,
-                       help="dump the crawl database to DIR (JSON lines)")
-    crawl.add_argument("--top", type=int, default=10,
-                       help="number of top results to print")
+                       help="crawl workers (host-partitioned sharding)")
     crawl.add_argument("--metrics-out", metavar="PATH", default=None,
-                       help="write the final metrics snapshot to PATH "
-                            "(.prom/.txt: Prometheus text; otherwise JSON)")
+                       help="write the final metrics snapshot to PATH")
+    _add_crawl_arguments(crawl)
 
     queryload = sub.add_parser(
         "queryload",
-        help="crawl, then drive the query-serving tier with a "
-             "deterministic Zipfian load",
+        help="deprecated alias of `portal queryload` (one release)",
     )
-    queryload.add_argument("--seed", type=int, default=7)
-    queryload.add_argument("--budget", type=int, default=400,
-                           help="harvesting fetch budget of the crawl")
-    queryload.add_argument("--requests", type=int, default=500,
-                           help="number of load-generator requests")
-    queryload.add_argument("--clients", type=int, default=8,
-                           help="distinct rate-limited clients")
-    queryload.add_argument("--arrival-rate", type=float, default=40.0,
-                           help="mean arrivals per simulated second")
-    queryload.add_argument("--rate", type=float, default=10.0,
-                           help="per-client token refill rate (tokens/s)")
-    queryload.add_argument("--burst", type=float, default=20.0,
-                           help="per-client token-bucket capacity")
-    queryload.add_argument("--zipf", type=float, default=1.1,
-                           help="Zipf exponent of query popularity")
+    queryload.add_argument("--workers", type=int, default=1,
+                           help="crawl workers (host-partitioned sharding)")
     queryload.add_argument("--metrics-out", metavar="PATH", default=None,
-                           help="write the final metrics snapshot to PATH "
-                                "(.prom/.txt: Prometheus text; else JSON)")
+                           help="write the final metrics snapshot to PATH")
+    _add_queryload_arguments(queryload)
 
     ablate = sub.add_parser(
         "ablate", help="sections 3.1-3.4 design-choice ablations"
@@ -105,7 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_portal(args) -> int:
+def _cmd_portal_tables(args) -> int:
     from repro.experiments.portal import run_portal_experiment
 
     result = run_portal_experiment(
@@ -129,6 +215,14 @@ def _cmd_expert(args) -> int:
     print()
     print(result.figure5().render())
     return 0
+
+
+def _write_metrics(registry, path: str | None) -> None:
+    if path:
+        from repro.obs import write_metrics
+
+        written = write_metrics(registry, path)
+        print(f"metrics written: {written}")
 
 
 def _cmd_crawl(args) -> int:
@@ -160,11 +254,7 @@ def _cmd_crawl(args) -> int:
 
         rows = dump_database(engine.database, args.dump_db)
         print(f"database dumped: {rows} rows in {args.dump_db}")
-    if args.metrics_out:
-        from repro.obs import write_metrics
-
-        path = write_metrics(engine.obs.registry, args.metrics_out)
-        print(f"metrics written: {path}")
+    _write_metrics(engine.obs.registry, args.metrics_out)
     return 0
 
 
@@ -181,7 +271,7 @@ def _cmd_queryload(args) -> int:
 
     web = SyntheticWeb.generate(WebGraphConfig(seed=args.seed))
     engine = BingoEngine.for_portal(
-        web, config=BingoConfig(seed=args.seed)
+        web, config=BingoConfig(seed=args.seed, crawl_workers=args.workers)
     )
     engine.run(harvesting_fetch_budget=args.budget)
     search = LocalSearchEngine(
@@ -210,11 +300,59 @@ def _cmd_queryload(args) -> int:
           f"({len(search.index())} terms):")
     for key, value in sorted(report.summary().items()):
         print(f"  {key:>16}: {value:.6g}")
-    if args.metrics_out:
-        from repro.obs import write_metrics
+    _write_metrics(engine.obs.registry, args.metrics_out)
+    return 0
 
-        path = write_metrics(engine.obs.registry, args.metrics_out)
-        print(f"metrics written: {path}")
+
+def _open_portal(args):
+    """Crawl and open a living portal (evolve/recrawl subcommands)."""
+    from repro.core import BingoConfig, BingoEngine
+    from repro.portal import EvolutionConfig, LivingPortal
+    from repro.web import SyntheticWeb, WebGraphConfig
+
+    web = SyntheticWeb.generate(WebGraphConfig(seed=args.seed))
+    engine = BingoEngine.for_portal(
+        web, config=BingoConfig(seed=args.seed, crawl_workers=args.workers)
+    )
+    engine.run(harvesting_fetch_budget=args.budget)
+    portal = LivingPortal(
+        engine,
+        evolution_config=EvolutionConfig(seed=args.evolution_seed),
+        workers=args.workers,
+    )
+    portal.open()
+    engine.obs.register_source("portal", portal)
+    return engine, portal
+
+
+def _print_stats(title: str, stats: dict) -> None:
+    print(f"{title}:")
+    for key in sorted(stats):
+        print(f"  {key:>28}: {stats[key]:.6g}")
+
+
+def _cmd_portal_evolve(args) -> int:
+    engine, portal = _open_portal(args)
+    ticks = portal.evolve(args.seconds)
+    print(f"evolved {args.seconds:g} simulated seconds ({ticks} ticks)\n")
+    _print_stats("evolution", portal.evolution.stats())
+    print()
+    _print_stats("freshness", portal.freshness().stats())
+    _write_metrics(engine.obs.registry, args.metrics_out)
+    return 0
+
+
+def _cmd_portal_recrawl(args) -> int:
+    engine, portal = _open_portal(args)
+    for cycle in range(1, args.cycles + 1):
+        ticks = portal.evolve(args.seconds)
+        report = portal.recrawl(budget=args.recrawl_budget)
+        print(f"cycle {cycle}: {ticks} ticks, epoch {report.epoch}")
+        _print_stats("  cycle", report.stats())
+    print()
+    _print_stats("freshness", portal.freshness().stats())
+    print(f"\nserving epoch: {portal.search.epoch}")
+    _write_metrics(engine.obs.registry, args.metrics_out)
     return 0
 
 
@@ -233,6 +371,30 @@ def _cmd_ablate(args) -> int:
     return 0
 
 
+def _cmd_portal(args) -> int:
+    handlers = {
+        None: _cmd_portal_tables,
+        "tables": _cmd_portal_tables,
+        "crawl": _cmd_crawl,
+        "queryload": _cmd_queryload,
+        "evolve": _cmd_portal_evolve,
+        "recrawl": _cmd_portal_recrawl,
+    }
+    return handlers[args.portal_command](args)
+
+
+def _deprecated_alias(name: str, handler):
+    def run(args) -> int:
+        print(
+            f"note: `repro {name}` is deprecated; "
+            f"use `repro portal {name}` instead",
+            file=sys.stderr,
+        )
+        return handler(args)
+
+    return run
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     try:
         args = build_parser().parse_args(argv)
@@ -241,8 +403,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     commands = {
         "portal": _cmd_portal,
         "expert": _cmd_expert,
-        "crawl": _cmd_crawl,
-        "queryload": _cmd_queryload,
+        "crawl": _deprecated_alias("crawl", _cmd_crawl),
+        "queryload": _deprecated_alias("queryload", _cmd_queryload),
         "ablate": _cmd_ablate,
     }
     try:

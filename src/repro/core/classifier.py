@@ -372,6 +372,53 @@ class HierarchicalClassifier:
             self._retire_kernel_stats(self._compiled)
         self._compiled = None
 
+    def retrain_topics(
+        self, training: TrainingSet, topics: Sequence[str]
+    ) -> int:
+        """Retrain only the named child topics' decision models.
+
+        The incremental fold path (:mod:`repro.portal.incremental`):
+        positives and negatives are assembled exactly as :meth:`train`
+        does, but topics outside ``topics`` keep their existing models.
+        Callers must include every sibling of a changed topic -- sibling
+        models share the changed documents as negatives.  Bumps the
+        model version (retiring the compiled kernel) when anything was
+        retrained; returns the number of models rebuilt.
+        """
+        targets = frozenset(topics)
+        retrained = 0
+        self.refresh_idf()
+        for parent in self.tree.inner_nodes():
+            children = self.tree.children_of(parent)
+            others = self.tree.others_of(parent)
+            for child in children:
+                if child not in targets:
+                    continue
+                positives = self._docs_of_subtree(training, child)
+                negatives: list[TrainingDoc] = []
+                for sibling in children:
+                    if sibling != child:
+                        negatives.extend(
+                            self._docs_of_subtree(training, sibling)
+                        )
+                negatives.extend(training.get(others, ()))
+                if not positives or not negatives:
+                    # the topic lost its last usable training data; its
+                    # stale model must not keep classifying
+                    self.models.pop(child, None)
+                    retrained += 1
+                    continue
+                self.models[child] = self._train_topic(
+                    child, positives, negatives
+                )
+                retrained += 1
+        if retrained:
+            self.model_version += 1
+            if self._compiled is not None:
+                self._retire_kernel_stats(self._compiled)
+            self._compiled = None
+        return retrained
+
     def _docs_of_subtree(
         self, training: TrainingSet, topic: str
     ) -> list[TrainingDoc]:

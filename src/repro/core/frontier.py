@@ -367,11 +367,6 @@ class CrawlFrontier:
             "deferred_total": float(self.deferred_total),
         }
 
-    def counters(self) -> dict[str, int]:
-        """Integer alias of :meth:`stats` (for logs, benchmarks and
-        parity assertions)."""
-        return {name: int(value) for name, value in self.stats().items()}
-
     @property
     def topics(self) -> list[str]:
         return sorted(self._queues)

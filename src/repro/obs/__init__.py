@@ -38,9 +38,6 @@ from repro.obs.api import (
     Hook,
     Instrumented,
     StageEvent,
-    adapt_legacy_hook,
-    as_hook,
-    is_legacy_hook,
 )
 from repro.obs.export import (
     ProgressReporter,
@@ -57,9 +54,6 @@ __all__ = [
     "StageEvent",
     "Hook",
     "Instrumented",
-    "is_legacy_hook",
-    "adapt_legacy_hook",
-    "as_hook",
     "MetricsRegistry",
     "Tracer",
     "Span",

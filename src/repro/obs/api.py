@@ -10,10 +10,10 @@ registry/tracer implementation:
   :meth:`~repro.obs.registry.MetricsRegistry.register_source` merges
   them into one snapshot.
 * :class:`Hook` -- a callable receiving one typed :class:`StageEvent`
-  per pipeline stage invocation.  This replaces the historical
-  positional ``hook(stage_name, in_size, out_size, elapsed)``
-  signature; :func:`as_hook` adapts legacy 4-argument callables with a
-  :class:`DeprecationWarning` for one release.
+  per pipeline stage invocation.  ``hook(event)`` is the *only*
+  supported signature: the historical positional ``hook(stage_name,
+  in_size, out_size, elapsed)`` form and its deprecation-period adapter
+  were removed after their one-release grace window.
 
 Only :attr:`StageEvent.elapsed` is wall-clock time (it feeds the
 pipeline benchmark); everything recorded into the metrics registry is
@@ -22,9 +22,7 @@ deterministic and timestamped by the simulated clock.
 
 from __future__ import annotations
 
-import inspect
 import re
-import warnings
 from dataclasses import dataclass, field
 from typing import Mapping, Protocol, runtime_checkable
 
@@ -33,9 +31,6 @@ __all__ = [
     "StageEvent",
     "Hook",
     "Instrumented",
-    "is_legacy_hook",
-    "adapt_legacy_hook",
-    "as_hook",
 ]
 
 #: metric and stats keys must be snake_case prometheus-safe identifiers
@@ -59,10 +54,6 @@ class StageEvent:
     extras: Mapping[str, float] = field(default_factory=dict)
     """Stage-specific detail (e.g. ``accepted`` on classify)."""
 
-    def as_legacy_tuple(self) -> tuple[str, int, int, float]:
-        """The historical positional hook arguments."""
-        return (self.stage, self.in_size, self.out_size, self.elapsed)
-
 
 @runtime_checkable
 class Hook(Protocol):
@@ -78,55 +69,3 @@ class Instrumented(Protocol):
     def stats(self) -> dict[str, float]:
         """Current counter values, snake_case keys, float values."""
         ...
-
-
-def _required_positional_arity(hook) -> int | None:
-    """How many positional arguments ``hook`` requires; None if unknown."""
-    try:
-        signature = inspect.signature(hook)
-    except (TypeError, ValueError):
-        return None
-    required = 0
-    for parameter in signature.parameters.values():
-        if parameter.kind == inspect.Parameter.VAR_POSITIONAL:
-            return None
-        if parameter.kind in (
-            inspect.Parameter.POSITIONAL_ONLY,
-            inspect.Parameter.POSITIONAL_OR_KEYWORD,
-        ) and parameter.default is inspect.Parameter.empty:
-            required += 1
-    return required
-
-
-def is_legacy_hook(hook) -> bool:
-    """True for the historical 4-argument positional hook signature."""
-    return _required_positional_arity(hook) == 4
-
-
-def adapt_legacy_hook(hook) -> Hook:
-    """Wrap a legacy ``(stage, in_size, out_size, elapsed)`` callable.
-
-    Emits a :class:`DeprecationWarning` once, at adaptation time; the
-    returned adapter re-expands every :class:`StageEvent` into the old
-    positional arguments, so legacy hooks observe exactly the values
-    they always did.
-    """
-    warnings.warn(
-        "positional pipeline hooks (stage_name, in_size, out_size, elapsed)"
-        " are deprecated; take a single repro.obs.StageEvent instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-    def adapter(event: StageEvent) -> None:
-        hook(*event.as_legacy_tuple())
-
-    adapter.__wrapped_legacy__ = hook
-    return adapter
-
-
-def as_hook(hook) -> Hook:
-    """Coerce a callable into a typed hook, adapting legacy signatures."""
-    if is_legacy_hook(hook):
-        return adapt_legacy_hook(hook)
-    return hook

@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import time
 
-from repro.obs.api import StageEvent, as_hook
+from repro.obs.api import StageEvent
 from repro.pipeline.stages import (
     AdmitStage,
     AnalyzeStage,
@@ -83,13 +83,11 @@ class CrawlPipeline:
     def add_hook(self, hook) -> None:
         """Register an observability hook.
 
-        ``hook(event: StageEvent)`` is the supported signature.  Legacy
-        4-argument callables ``hook(stage_name, in_size, out_size,
-        elapsed)`` are still accepted for one release: they are wrapped
-        by :func:`repro.obs.api.adapt_legacy_hook`, which emits a
-        :class:`DeprecationWarning` here at registration time.
+        ``hook(event: StageEvent)`` is the only supported signature;
+        the historical 4-argument positional form and its deprecation
+        adapter were removed after their one-release grace window.
         """
-        self.hooks.append(as_hook(hook))
+        self.hooks.append(hook)
 
     def _run_stage(self, stage, batch: list[CrawlItem],
                    parent=None) -> list[CrawlItem]:

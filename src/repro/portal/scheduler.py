@@ -1,0 +1,552 @@
+"""The recrawl scheduler: revisit work prioritised by staleness x authority.
+
+Feeds the *existing* frontier machinery -- a single
+:class:`~repro.core.frontier.CrawlFrontier` or, with ``workers > 1``,
+the host-partitioned :class:`~repro.shard.frontier.ShardedFrontier` --
+with revisit entries whose priority is
+
+    ``staleness * (normalised HITS authority + epsilon)``
+
+so high-authority pages are refreshed first but every stale page
+eventually wins on staleness alone.  Change detection runs on content
+digests (:class:`~repro.portal.digests.DigestStore`): an unchanged
+fetch costs one digest comparison, a changed fetch is re-analysed
+through the engine's own convert/tokenize/feature path, a vanished page
+becomes a removal.  The resulting :class:`~repro.portal.incremental.DocumentDelta`
+is what the portal folds into the search index and the classifier.
+
+Checkpoint/resume mirrors the crawl's fault-tolerance story: the
+frontier snapshot, the digest store, the revisit clock and the counters
+round-trip through :meth:`RecrawlScheduler.snapshot` /
+:meth:`~RecrawlScheduler.restore`, and an interrupted recrawl resumed
+from a checkpoint finishes with identical freshness counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.analysis.graph import LinkGraph
+from repro.errors import ConfigError
+from repro.analysis.hits import hits
+from repro.core.crawler import CrawledDocument
+from repro.core.frontier import CrawlFrontier, QueueEntry
+from repro.portal.digests import DigestStore, content_digest
+from repro.portal.incremental import DocumentDelta
+from repro.shard.frontier import ShardedFrontier
+from repro.shard.router import ShardRouter
+from repro.text.tokenizer import tokenize_html
+from repro.web.server import FetchStatus
+from repro.web.urls import is_crawlable_url, join_url, parse_url
+
+__all__ = ["RecrawlReport", "RecrawlScheduler"]
+
+#: transient statuses worth a retry with backoff
+_TRANSIENT = (FetchStatus.TIMEOUT, FetchStatus.HTTP_ERROR)
+
+
+@dataclass
+class RecrawlReport:
+    """Outcome of one :meth:`RecrawlScheduler.run` call.
+
+    Counts fetches executed by *this call*; the accumulated document
+    delta lives on the scheduler (:meth:`RecrawlScheduler.collect_delta`)
+    so an interrupted cycle can checkpoint it mid-flight.
+    """
+
+    scheduled: int = 0
+    fetched: int = 0
+    changed: int = 0
+    unchanged: int = 0
+    discovered: int = 0
+    dead: int = 0
+    errors: int = 0
+    simulated_seconds: float = 0.0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "recrawl_scheduled": float(self.scheduled),
+            "recrawl_fetched": float(self.fetched),
+            "recrawl_changed": float(self.changed),
+            "recrawl_unchanged": float(self.unchanged),
+            "recrawl_discovered": float(self.discovered),
+            "recrawl_dead": float(self.dead),
+            "recrawl_errors": float(self.errors),
+            "recrawl_simulated_seconds": float(self.simulated_seconds),
+        }
+
+
+class RecrawlScheduler:
+    """Schedules and executes revisit crawls over an engine's corpus."""
+
+    def __init__(
+        self,
+        engine,
+        workers: int = 1,
+        digests: DigestStore | None = None,
+        authority_epsilon: float = 0.05,
+        max_retries: int = 2,
+        retry_backoff: float = 30.0,
+    ) -> None:
+        self.engine = engine
+        self.ctx = engine.ctx
+        self.clock = self.ctx.clock
+        self.web = engine.web
+        self.workers = workers
+        self.digests = digests or DigestStore()
+        self.authority_epsilon = authority_epsilon
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        if workers > 1:
+            self.frontier = ShardedFrontier(
+                ShardRouter(workers), now=lambda: self.clock.now
+            )
+        else:
+            self.frontier = CrawlFrontier(now=lambda: self.clock.now)
+        self.last_crawled: dict[str, float] = {}
+        self.retired: set[int] = set()
+        """doc_ids of documents observed dead (skipped by scheduling)."""
+        self.touched: set[int] = set()
+        """doc_ids whose context record this scheduler replaced or
+        appended since construction (cumulative across cycles); their
+        current records ride along in :meth:`snapshot` so restore can
+        patch a freshly re-crawled context."""
+        self.pending = DocumentDelta()
+        """Delta accumulated since the last :meth:`collect_delta`;
+        checkpointed so an interrupted cycle resumes without losing the
+        refreshes already executed."""
+        self._primed = False
+        # lifetime counters (freshness bookkeeping across cycles)
+        self.cycles = 0
+        self.total_scheduled = 0
+        self.total_fetched = 0
+        self.total_changed = 0
+        self.total_unchanged = 0
+        self.total_discovered = 0
+        self.total_dead = 0
+        self.total_errors = 0
+
+    # -- bootstrap -----------------------------------------------------------
+
+    def prime(self) -> int:
+        """Record baseline digests for every stored document.
+
+        Must run *before* the web starts evolving: the digest of the
+        page's current payload then equals the digest of the content the
+        crawl actually stored.  Idempotent; returns the rows recorded.
+        """
+        if self._primed:
+            return 0
+        recorded = 0
+        for doc in self.ctx.documents:
+            if doc.page_id is None:
+                continue
+            page = self.web.pages[doc.page_id]
+            payload = self.web.renderer.payload(page)
+            if payload is None:
+                continue
+            self.digests.record(
+                doc.final_url,
+                content_digest(payload),
+                at=doc.fetched_at,
+                page_id=doc.page_id,
+            )
+            self.last_crawled[doc.final_url] = doc.fetched_at
+            recorded += 1
+        self._primed = True
+        return recorded
+
+    # -- prioritisation ------------------------------------------------------
+
+    def _authorities(self) -> dict[int, float]:
+        """Min-max normalised HITS authority over the crawled graph."""
+        url_to_doc = {
+            doc.final_url: doc.doc_id for doc in self.ctx.documents
+        }
+        graph = LinkGraph()
+        for doc in self.ctx.documents:
+            if doc.doc_id in self.retired:
+                continue
+            graph.add_node(doc.doc_id, host=doc.host)
+        for doc in self.ctx.documents:
+            if doc.doc_id in self.retired:
+                continue
+            for url in doc.out_urls:
+                target = url_to_doc.get(url)
+                if (
+                    target is not None
+                    and target != doc.doc_id
+                    and target not in self.retired
+                ):
+                    graph.add_edge(doc.doc_id, target)
+        authority = hits(graph).authority
+        if not authority:
+            return {}
+        values = [authority[doc_id] for doc_id in sorted(authority)]
+        lo, hi = min(values), max(values)
+        if hi <= lo:
+            return {doc_id: 0.0 for doc_id in authority}
+        return {
+            doc_id: (score - lo) / (hi - lo)
+            for doc_id, score in authority.items()
+        }
+
+    def schedule(self, budget: int) -> int:
+        """Queue the ``budget`` most urgent revisits into the frontier.
+
+        Urgency is ``staleness * (authority + epsilon)``: staleness is
+        the simulated time since the document was last fetched, the
+        epsilon keeps zero-authority pages refreshable.
+        """
+        if budget <= 0:
+            return 0
+        now = self.clock.now
+        authorities = self._authorities()
+        scored = []
+        for doc in self.ctx.documents:
+            if doc.doc_id in self.retired:
+                continue
+            url = doc.final_url
+            staleness = max(
+                now - self.last_crawled.get(url, doc.fetched_at), 0.0
+            )
+            priority = staleness * (
+                authorities.get(doc.doc_id, 0.0) + self.authority_epsilon
+            )
+            scored.append((priority, doc.doc_id, url, doc.topic, doc.depth))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        queued = 0
+        for priority, doc_id, url, topic, depth in scored[:budget]:
+            # revisits re-admit URLs the frontier has already seen, so
+            # they go through the documented re-admission path
+            self.frontier.requeue(
+                QueueEntry(
+                    url=url, topic=topic, priority=priority,
+                    depth=depth, referrer_doc_id=doc_id,
+                )
+            )
+            queued += 1
+        self.total_scheduled += queued
+        return queued
+
+    # -- execution -----------------------------------------------------------
+
+    def _analyze(self, html: str, mime: str | None, base_url: str):
+        """Convert + tokenize + feature-extract + resolve links."""
+        converted = self.engine.crawler.handlers.convert(html, mime)
+        text = converted.html if converted is not None else html
+        html_doc = tokenize_html(text)
+        counts = self.engine._analyze_html(html, mime)
+        out_urls = []
+        for href in html_doc.links:
+            absolute = join_url(base_url, href)
+            if absolute is not None and is_crawlable_url(absolute):
+                out_urls.append(absolute)
+        return counts, out_urls, html_doc.title
+
+    def _discover(self, doc: CrawledDocument) -> int:
+        """Push a refreshed document's unseen out-links (new pages born
+        since the original crawl reach the corpus through these).
+
+        Only *changed revisits* discover -- newly stored pages do not,
+        so discovery is one hop deep per cycle and a revisit budget
+        cannot snowball into a fresh full crawl of the web.
+        """
+        pushed = 0
+        for url in doc.out_urls:
+            if self.ctx.document_by_url(url) is not None:
+                continue
+            if self.frontier.has_seen(url):
+                continue
+            if self.frontier.push(
+                QueueEntry(
+                    url=url, topic=doc.topic,
+                    priority=max(doc.confidence, 0.0),
+                    depth=doc.depth + 1, referrer_doc_id=doc.doc_id,
+                )
+            ):
+                pushed += 1
+        return pushed
+
+    def _retire(self, url: str, report: RecrawlReport) -> None:
+        doc_id = self.ctx.url_to_doc.get(url)
+        if doc_id is None or doc_id in self.retired:
+            return
+        self.retired.add(doc_id)
+        self.digests.forget(url)
+        self.last_crawled[url] = self.clock.now
+        self.pending.record_removed(self.ctx.documents[doc_id])
+        report.dead += 1
+        self.total_dead += 1
+
+    def _store_new(self, entry: QueueEntry, result, report: RecrawlReport) -> None:
+        counts, out_urls, title = self._analyze(
+            result.html, result.mime, result.final_url or entry.url
+        )
+        classified = self.engine.classifier.classify(
+            counts, mode=self.engine.config.harvesting_decision_mode
+        )
+        parsed = parse_url(result.final_url or entry.url)
+        doc_id = len(self.ctx.documents)
+        doc = CrawledDocument(
+            doc_id=doc_id,
+            url=entry.url,
+            final_url=result.final_url or entry.url,
+            page_id=result.page_id,
+            host=parsed.host if parsed is not None else "",
+            ip=result.ip or "",
+            mime=result.mime or "text/html",
+            size=result.size,
+            title=title,
+            depth=entry.depth,
+            topic=classified.topic,
+            confidence=classified.confidence,
+            counts=counts,
+            out_urls=out_urls,
+            fetched_at=self.clock.now,
+        )
+        self.ctx.documents.append(doc)
+        self.ctx.url_to_doc[doc.final_url] = doc_id
+        self.digests.record(
+            doc.final_url, content_digest(result.html),
+            at=self.clock.now, page_id=result.page_id,
+        )
+        self.last_crawled[doc.final_url] = self.clock.now
+        self.touched.add(doc_id)
+        self.pending.record_added(doc)
+        report.discovered += 1
+        self.total_discovered += 1
+
+    def _refresh(self, entry: QueueEntry, result, report: RecrawlReport) -> None:
+        url = result.final_url or entry.url
+        doc = self.ctx.document_by_url(url)
+        if doc is None:
+            self._store_new(entry, result, report)
+            return
+        status = self.digests.record(
+            url, content_digest(result.html),
+            at=self.clock.now, page_id=result.page_id,
+        )
+        self.last_crawled[url] = self.clock.now
+        if status == DigestStore.UNCHANGED:
+            report.unchanged += 1
+            self.total_unchanged += 1
+            return
+        counts, out_urls, title = self._analyze(
+            result.html, result.mime, url
+        )
+        updated = dataclasses.replace(
+            doc,
+            mime=result.mime or doc.mime,
+            size=result.size,
+            title=title or doc.title,
+            counts=counts,
+            out_urls=out_urls,
+            fetched_at=self.clock.now,
+        )
+        self.ctx.documents[doc.doc_id] = updated
+        self.touched.add(doc.doc_id)
+        self.pending.record_changed(doc, updated)
+        report.changed += 1
+        self.total_changed += 1
+        self._discover(updated)
+
+    def run(
+        self,
+        budget: int | None = None,
+        fetch_limit: int | None = None,
+    ) -> RecrawlReport:
+        """One recrawl cycle: schedule ``budget`` revisits, drain the
+        frontier; the document delta accumulates on :attr:`pending`.
+
+        ``budget=None`` skips scheduling and only drains what the
+        frontier already holds (the resume path after a checkpoint).
+        ``fetch_limit`` stops mid-drain -- the test hook for simulated
+        crashes; a later ``run(None)`` continues where this stopped.
+        """
+        report = RecrawlReport()
+        if budget is not None:
+            report.scheduled = self.schedule(budget)
+        started = self.clock.now
+        while fetch_limit is None or report.fetched < fetch_limit:
+            entry = self.frontier.pop()
+            if entry is None:
+                ready_at = self.frontier.next_ready_at()
+                if ready_at is None:
+                    break
+                self.clock.advance_to(ready_at)
+                continue
+            result = self.web.server.fetch(entry.url)
+            self.clock.advance(result.latency)
+            report.fetched += 1
+            self.total_fetched += 1
+            if result.status in _TRANSIENT:
+                if entry.attempt < self.max_retries:
+                    backoff = self.retry_backoff * (entry.attempt + 1)
+                    self.frontier.requeue(
+                        dataclasses.replace(
+                            entry,
+                            attempt=entry.attempt + 1,
+                            not_before=self.clock.now + backoff,
+                        )
+                    )
+                else:
+                    report.errors += 1
+                    self.total_errors += 1
+                continue
+            if not result.ok or result.html is None:
+                # NOT_FOUND and friends: the page is gone
+                self._retire(entry.url, report)
+                continue
+            self._refresh(entry, result, report)
+        report.simulated_seconds = self.clock.now - started
+        if fetch_limit is None or len(self.frontier) == 0:
+            self.cycles += 1
+        return report
+
+    def collect_delta(self) -> DocumentDelta:
+        """Harvest (and reset) the accumulated document delta.
+
+        The caller folds it into the search engine
+        (:meth:`~repro.search.engine.LocalSearchEngine.apply_delta`) and
+        the classifier (:func:`~repro.portal.incremental.fold_into_classifier`).
+        """
+        delta = self.pending
+        self.pending = DocumentDelta()
+        return delta
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Lifetime freshness counters (:class:`repro.obs.api.Instrumented`)."""
+        merged = {
+            "recrawl_cycles": float(self.cycles),
+            "recrawl_total_scheduled": float(self.total_scheduled),
+            "recrawl_total_fetched": float(self.total_fetched),
+            "recrawl_total_changed": float(self.total_changed),
+            "recrawl_total_unchanged": float(self.total_unchanged),
+            "recrawl_total_discovered": float(self.total_discovered),
+            "recrawl_total_dead": float(self.total_dead),
+            "recrawl_total_errors": float(self.total_errors),
+            "recrawl_retired_documents": float(len(self.retired)),
+        }
+        for name, value in self.digests.stats().items():
+            merged[name] = value
+        return merged
+
+    # -- checkpoint ----------------------------------------------------------
+
+    @staticmethod
+    def _doc_to_state(doc: CrawledDocument) -> dict:
+        state = dataclasses.asdict(doc)
+        state["counts"] = {
+            space: dict(counts) for space, counts in doc.counts.items()
+        }
+        state["out_urls"] = list(doc.out_urls)
+        return state
+
+    @staticmethod
+    def _doc_from_state(state: dict) -> CrawledDocument:
+        state = dict(state)
+        state["counts"] = {
+            space: Counter(counts)
+            for space, counts in state["counts"].items()
+        }
+        return CrawledDocument(**state)
+
+    def snapshot(self) -> dict:
+        """Serializable image of the scheduler's full revisit state.
+
+        Includes the :attr:`pending` delta and the document records it
+        patched, so a resume against a freshly re-crawled context can
+        re-apply every refresh the interrupted cycle already executed.
+        """
+        return {
+            "workers": self.workers,
+            "primed": self._primed,
+            "frontier": self.frontier.snapshot(),
+            "digests": self.digests.snapshot(),
+            "last_crawled": dict(
+                sorted(self.last_crawled.items())
+            ),
+            "retired": sorted(self.retired),
+            "documents": [
+                self._doc_to_state(self.ctx.documents[doc_id])
+                for doc_id in sorted(self.touched)
+            ],
+            "pending": {
+                "added": [
+                    self._doc_to_state(doc) for doc in self.pending.added
+                ],
+                "changed": [
+                    self._doc_to_state(doc) for doc in self.pending.changed
+                ],
+                "removed": list(self.pending.removed),
+                "previous": [
+                    self._doc_to_state(self.pending.previous[doc_id])
+                    for doc_id in sorted(self.pending.previous)
+                ],
+            },
+            "counters": {
+                "cycles": self.cycles,
+                "total_scheduled": self.total_scheduled,
+                "total_fetched": self.total_fetched,
+                "total_changed": self.total_changed,
+                "total_unchanged": self.total_unchanged,
+                "total_discovered": self.total_discovered,
+                "total_dead": self.total_dead,
+                "total_errors": self.total_errors,
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild revisit state from a :meth:`snapshot` image.
+
+        Assumes the surrounding context was rebuilt to its *pre-recrawl*
+        state (the deterministic crawl replay): document records touched
+        by the interrupted cycle are patched back in from the pending
+        delta, so the resumed cycle continues exactly where it stopped.
+        """
+        self._primed = state["primed"]
+        self.frontier.restore(state["frontier"])
+        self.digests.restore(state["digests"])
+        self.last_crawled = dict(state["last_crawled"])
+        self.retired = set(state["retired"])
+        self.touched = set()
+        for doc_state in state["documents"]:
+            doc = self._doc_from_state(doc_state)
+            if doc.doc_id < len(self.ctx.documents):
+                self.ctx.documents[doc.doc_id] = doc
+            elif doc.doc_id == len(self.ctx.documents):
+                self.ctx.documents.append(doc)
+            else:
+                raise ConfigError(
+                    f"checkpointed doc_id {doc.doc_id} does not extend a "
+                    f"context of {len(self.ctx.documents)} documents; "
+                    "restore needs the pre-recrawl context"
+                )
+            self.ctx.url_to_doc[doc.final_url] = doc.doc_id
+            self.touched.add(doc.doc_id)
+        pending = state["pending"]
+        self.pending = DocumentDelta(
+            added=[self._doc_from_state(s) for s in pending["added"]],
+            changed=[self._doc_from_state(s) for s in pending["changed"]],
+            removed=list(pending["removed"]),
+            previous={
+                doc.doc_id: doc
+                for doc in (
+                    self._doc_from_state(s) for s in pending["previous"]
+                )
+            },
+        )
+        counters = state["counters"]
+        self.cycles = counters["cycles"]
+        self.total_scheduled = counters["total_scheduled"]
+        self.total_fetched = counters["total_fetched"]
+        self.total_changed = counters["total_changed"]
+        self.total_unchanged = counters["total_unchanged"]
+        self.total_discovered = counters["total_discovered"]
+        self.total_dead = counters["total_dead"]
+        self.total_errors = counters["total_errors"]

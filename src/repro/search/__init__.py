@@ -8,7 +8,13 @@ feedback with retraining, cluster-based subclass suggestion, and the
 external-search stand-in used to pick expert-query seeds (Figure 4).
 """
 
-from repro.search.engine import LocalSearchEngine, RankedHit, RankingWeights
+from repro.search.engine import (
+    DeltaReport,
+    LocalSearchEngine,
+    RankedHit,
+    RankingWeights,
+)
+from repro.search.epoch import Epoch
 from repro.search.feedback import FeedbackSession
 from repro.search.clustering import SubclassSuggestion, suggest_subclasses
 from repro.search.index import InvertedIndex, Postings, QueryCache
@@ -26,6 +32,8 @@ from repro.search.serving import (
 )
 
 __all__ = [
+    "DeltaReport",
+    "Epoch",
     "ExternalSearchEngine",
     "FeedbackSession",
     "InvertedIndex",

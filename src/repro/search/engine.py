@@ -28,15 +28,17 @@ from __future__ import annotations
 
 import heapq
 import time
+import warnings
 from collections import Counter
 from dataclasses import dataclass
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.analysis.graph import LinkGraph
 from repro.analysis.hits import hits
 from repro.core.crawler import CrawledDocument
 from repro.errors import SearchError
 from repro.perf.topk import PostingCursor, wand_topk
+from repro.search.epoch import Epoch
 from repro.search.index import InvertedIndex
 from repro.text.tokenizer import tokenize
 from repro.text.vectorizer import (
@@ -45,7 +47,40 @@ from repro.text.vectorizer import (
     cosine_similarity,
 )
 
-__all__ = ["RankingWeights", "RankedHit", "LocalSearchEngine"]
+__all__ = ["RankingWeights", "RankedHit", "DeltaReport", "LocalSearchEngine"]
+
+
+@dataclass(frozen=True)
+class DeltaReport:
+    """What one :meth:`LocalSearchEngine.apply_delta` call did.
+
+    ``scope`` is ``"local"`` when the corpus size was unchanged (only
+    vectors touching changed document frequencies were recomputed) and
+    ``"global"`` when the document count moved, which shifts every idf
+    and forces a full vector recomputation -- either way the resulting
+    index is bit-identical to a from-scratch rebuild.
+    """
+
+    epoch: Epoch
+    scope: str
+    docs_added: int
+    docs_changed: int
+    docs_removed: int
+    vectors_recomputed: int
+    vectors_reused: int
+    postings_reused: int
+
+    def stats(self) -> dict[str, float]:
+        """Counters (:class:`repro.obs.api.Instrumented`-shaped)."""
+        return {
+            "delta_docs_added": float(self.docs_added),
+            "delta_docs_changed": float(self.docs_changed),
+            "delta_docs_removed": float(self.docs_removed),
+            "delta_vectors_recomputed": float(self.vectors_recomputed),
+            "delta_vectors_reused": float(self.vectors_reused),
+            "delta_postings_reused": float(self.postings_reused),
+            "delta_scope_global": 1.0 if self.scope == "global" else 0.0,
+        }
 
 
 @dataclass(frozen=True)
@@ -136,10 +171,6 @@ class LocalSearchEngine:
         never fed back into the simulated clock or the registry
         counters proper -- it surfaces through :meth:`stats`)."""
         self.candidates_ranked = 0
-        self.generation = 0
-        """Bumped by :meth:`refresh`; with the idf snapshot version it
-        forms :attr:`cache_token`, the key prefix under which serving
-        layers may cache results of this engine."""
         if obs is not None:
             obs.register_source("search", self)
         self.documents = list(documents)
@@ -157,18 +188,75 @@ class LocalSearchEngine:
         }
         self._by_id = {d.doc_id: d for d in self.documents}
         self._index: InvertedIndex | None = None
+        self._epoch = Epoch.initial(self.vectorizer.snapshot_version)
 
-    # -- index lifecycle ----------------------------------------------------
+    # -- epoch lifecycle ----------------------------------------------------
+
+    @property
+    def epoch(self) -> Epoch:
+        """The engine's current :class:`~repro.search.epoch.Epoch`.
+
+        The one typed token every consumer keys invalidation on: the
+        :class:`~repro.search.index.QueryCache` stores entries under it,
+        the :class:`~repro.search.index.InvertedIndex` is valid for its
+        snapshot component, :class:`~repro.search.serving.QueryServer`
+        stamps responses with it, and portal checkpoints serialise it.
+        If the vectorizer's idf snapshot refreshed underneath the engine
+        (a retraining point), the epoch syncs to it here -- mirroring
+        how the legacy tuple read the snapshot version live.
+        """
+        if self._epoch.snapshot_version != self.vectorizer.snapshot_version:
+            self._epoch = self._epoch.synced(self.vectorizer.snapshot_version)
+        return self._epoch
+
+    @property
+    def generation(self) -> int:
+        """The epoch's lifecycle generation (kept for stats parity)."""
+        return self._epoch.generation
+
+    def advance_epoch(self, reason: str) -> Epoch:
+        """Explicitly move the engine to a new epoch.
+
+        Every epoch-keyed cache entry becomes unreachable; the inverted
+        index survives only if the idf snapshot is unchanged.  This is
+        the one mutation point of the engine's lifecycle state --
+        :meth:`rebuild` and :meth:`apply_delta` both funnel through it.
+        """
+        self._epoch = self.epoch.advance(
+            reason, snapshot_version=self.vectorizer.snapshot_version
+        )
+        return self._epoch
+
+    def restore_epoch(self, epoch: Epoch) -> Epoch:
+        """Adopt a checkpointed epoch (the portal restore path).
+
+        Ordinal, generation and reason carry over so epoch-keyed
+        invalidation continues exactly where the checkpoint left off;
+        the snapshot component follows the *current* vectorizer, because
+        a restored engine rebuilt its idf statistics from scratch and
+        the stored snapshot version belongs to a dead lineage.
+        """
+        self._epoch = Epoch(
+            ordinal=epoch.ordinal,
+            snapshot_version=self.vectorizer.snapshot_version,
+            generation=epoch.generation,
+            reason=epoch.reason,
+        )
+        return self._epoch
 
     @property
     def cache_token(self) -> tuple[int, int]:
-        """Key prefix for result caches: ``(idf snapshot, generation)``.
+        """Deprecated: the legacy ``(idf snapshot, generation)`` tuple.
 
-        Any event that changes ranking -- a retraining refreshing the
-        idf snapshot, an archetype promotion, :meth:`refresh` -- changes
-        this token, so caches keyed on it self-invalidate.
+        Kept as a shim for one release; key on :attr:`epoch` instead.
         """
-        return (self.vectorizer.snapshot_version, self.generation)
+        warnings.warn(
+            "LocalSearchEngine.cache_token is deprecated; key caches on "
+            "the typed LocalSearchEngine.epoch instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.epoch.token
 
     def index(self) -> InvertedIndex:
         """The inverted index over the current corpus (built lazily)."""
@@ -176,24 +264,25 @@ class LocalSearchEngine:
         if index is None or (
             index.snapshot_version != self.vectorizer.snapshot_version
         ):
-            index = InvertedIndex.build(
-                self._vectors, self.vectorizer.snapshot_version
-            )
+            index = InvertedIndex.build(self._vectors, self.epoch)
             self._index = index
         return index
 
-    def refresh(
-        self, documents: Sequence[CrawledDocument] | None = None
-    ) -> None:
+    def rebuild(
+        self,
+        documents: Sequence[CrawledDocument] | None = None,
+        reason: str = "rebuild",
+    ) -> Epoch:
         """Rebuild vectors and index after retraining or promotion.
 
         The engine's idf statistics and document vectors are recomputed
         from scratch (optionally over a new document set), the inverted
-        index is dropped for lazy rebuild, and :attr:`generation` is
-        bumped so every :attr:`cache_token`-keyed result cache
-        invalidates.  This is the documented contract for the serving
-        tier: call ``refresh()`` whenever the crawl retrains or
-        promotes archetypes while queries are being served.
+        index is dropped for lazy rebuild, and the epoch advances so
+        every epoch-keyed result cache invalidates.  This is the
+        documented contract for the serving tier: call
+        ``rebuild(reason=...)`` whenever the crawl retrains or promotes
+        archetypes while queries are being served; call
+        :meth:`apply_delta` for incremental recrawl folds.
         """
         if documents is not None:
             self.documents = list(documents)
@@ -211,7 +300,182 @@ class LocalSearchEngine:
         }
         self._by_id = {d.doc_id: d for d in self.documents}
         self._index = None
-        self.generation += 1
+        return self.advance_epoch(reason)
+
+    def refresh(
+        self, documents: Sequence[CrawledDocument] | None = None
+    ) -> None:
+        """Deprecated alias of :meth:`rebuild` (one-release shim)."""
+        warnings.warn(
+            "LocalSearchEngine.refresh() is deprecated; use "
+            "rebuild(reason=...) for full rebuilds or apply_delta() for "
+            "incremental folds",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.rebuild(documents, reason="refresh")
+
+    # -- incremental corpus updates -----------------------------------------
+
+    def _doc_terms(self, document: CrawledDocument) -> list[str]:
+        """The df-relevant term keys, exactly as ingestion sees them."""
+        return sorted(document.counts.get("term", Counter()).keys())
+
+    def apply_delta(
+        self,
+        added: Sequence[CrawledDocument] = (),
+        changed: Sequence[CrawledDocument] = (),
+        removed: Iterable[int] = (),
+        reason: str = "recrawl",
+    ) -> DeltaReport:
+        """Fold new/changed/deleted documents in without a full rebuild.
+
+        Document frequencies are adjusted by the delta (integer
+        bookkeeping -- exact), the idf snapshot is refreshed, and only
+        vectors whose weights can actually differ are recomputed: the
+        delta documents themselves plus any document sharing a term
+        whose df moved.  If the corpus *size* changed, every idf shifts
+        and all vectors are recomputed (``scope="global"``); either way
+        the resulting index is proven bit-identical to a from-scratch
+        :meth:`rebuild` by ``tests/portal/test_incremental_parity``.
+
+        ``changed`` documents keep their ``doc_id``; ``removed`` is an
+        iterable of doc ids.  The epoch advances with ``reason`` so
+        every epoch-keyed cache invalidates.
+        """
+        removed_ids = sorted(set(removed))
+        changed_by_id = {d.doc_id: d for d in changed}
+        added_docs = sorted(added, key=lambda d: d.doc_id)
+        for doc_id in removed_ids:
+            if doc_id not in self._by_id:
+                raise SearchError(f"cannot remove unknown doc {doc_id}")
+            if doc_id in changed_by_id:
+                raise SearchError(f"doc {doc_id} both changed and removed")
+        for doc_id in sorted(changed_by_id):
+            if doc_id not in self._by_id:
+                raise SearchError(f"cannot change unknown doc {doc_id}")
+        for doc in added_docs:
+            if doc.doc_id in self._by_id:
+                raise SearchError(f"doc {doc.doc_id} already indexed")
+
+        statistics = self.vectorizer.statistics
+        old_count = statistics.document_count
+        old_snapshot = self.vectorizer.snapshot_version
+        old_terms: dict[int, list[str]] = {}
+        new_terms: dict[int, list[str]] = {}
+        for doc_id in removed_ids:
+            old_terms[doc_id] = self._doc_terms(self._by_id[doc_id])
+        for doc_id in sorted(changed_by_id):
+            old_terms[doc_id] = self._doc_terms(self._by_id[doc_id])
+            new_terms[doc_id] = self._doc_terms(changed_by_id[doc_id])
+        for doc in added_docs:
+            new_terms[doc.doc_id] = self._doc_terms(doc)
+        candidates = sorted(
+            {term for terms in old_terms.values() for term in terms}
+            | {term for terms in new_terms.values() for term in terms}
+        )
+        df_before = {
+            term: statistics.document_frequency.get(term, 0)
+            for term in candidates
+        }
+        for doc_id in removed_ids:
+            self.vectorizer.retract(old_terms[doc_id])
+        for doc_id in sorted(changed_by_id):
+            self.vectorizer.retract(old_terms[doc_id])
+            self.vectorizer.ingest(new_terms[doc_id])
+        for doc in added_docs:
+            self.vectorizer.ingest(new_terms[doc.doc_id])
+        self.vectorizer.refresh()
+        changed_df = frozenset(
+            term for term in candidates
+            if statistics.document_frequency.get(term, 0) != df_before[term]
+        )
+
+        removed_set = frozenset(removed_ids)
+        documents = [
+            changed_by_id.get(doc.doc_id, doc)
+            for doc in self.documents
+            if doc.doc_id not in removed_set
+        ]
+        documents.extend(added_docs)
+        self.documents = documents
+        self._by_id = {d.doc_id: d for d in documents}
+
+        old_vectors = self._vectors
+        scope = (
+            "global" if statistics.document_count != old_count else "local"
+        )
+        if scope == "global":
+            affected = sorted(d.doc_id for d in documents)
+        else:
+            delta_ids = set(changed_by_id)
+            delta_ids.update(doc.doc_id for doc in added_docs)
+            for doc_id in sorted(old_vectors):
+                if doc_id in delta_ids or doc_id in removed_set:
+                    continue
+                weights = old_vectors[doc_id].weights
+                if any(term in changed_df for term in weights):
+                    delta_ids.add(doc_id)
+            affected = [
+                doc_id for doc_id in sorted(delta_ids)
+                if doc_id in self._by_id
+            ]
+        affected_set = frozenset(affected)
+        vectors: dict[int, SparseVector] = {}
+        for document in documents:
+            doc_id = document.doc_id
+            if doc_id in affected_set or doc_id not in old_vectors:
+                vectors[doc_id] = self.vectorizer.vectorize_counts(
+                    document.counts.get("term", Counter())
+                )
+            else:
+                vectors[doc_id] = old_vectors[doc_id]
+        recomputed = sum(
+            1 for doc_id in vectors
+            if doc_id in affected_set or doc_id not in old_vectors
+        )
+        self._vectors = vectors
+
+        dirty: set[str] = set(changed_df)
+        for doc_id in sorted(old_terms):
+            dirty.update(old_terms[doc_id])
+        for doc_id in sorted(new_terms):
+            dirty.update(new_terms[doc_id])
+        for doc_id in affected:
+            old_vector = old_vectors.get(doc_id)
+            if old_vector is not None:
+                dirty.update(old_vector.weights)
+            dirty.update(vectors[doc_id].weights)
+
+        old_index = self._index
+        if old_index is not None and (
+            old_index.snapshot_version != old_snapshot
+        ):
+            # the cached index predates the pre-delta snapshot; its
+            # postings don't mirror ``old_vectors``, so carrying them
+            # over would be wrong -- rebuild lazily instead
+            old_index = None
+        epoch = self.advance_epoch(reason)
+        postings_reused = 0
+        if old_index is None:
+            self._index = None
+        elif scope == "global":
+            self._index = InvertedIndex.build(vectors, epoch)
+        else:
+            self._index = old_index.apply_update(
+                vectors, sorted(dirty), epoch
+            )
+            postings_reused = self._index.reused_postings
+        return DeltaReport(
+            epoch=epoch,
+            scope=scope,
+            docs_added=len(added_docs),
+            docs_changed=len(changed_by_id),
+            docs_removed=len(removed_ids),
+            vectors_recomputed=recomputed,
+            vectors_reused=len(vectors) - recomputed,
+            postings_reused=postings_reused,
+        )
 
     # -- filtering ----------------------------------------------------------
 

@@ -17,10 +17,10 @@ the corpus, with
   :class:`~repro.perf.cache.VectorCache` invalidation contract.
 
 :class:`QueryCache` is the serving tier's result cache: entries are
-keyed on the snapshot version and an index *generation* counter, so a
-retraining (idf refresh) or an archetype promotion (engine
-``refresh()``) invalidates every cached result without an explicit
-flush.
+keyed on the engine's :class:`~repro.search.epoch.Epoch`, so a
+retraining (idf refresh), an archetype promotion, or a living-portal
+recrawl delta (``advance(reason)``) invalidates every cached result
+without an explicit flush.
 """
 
 from __future__ import annotations
@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import SearchError
 from repro.perf.topk import decode_doc_ids, encode_doc_ids
+from repro.search.epoch import Epoch
 
 if TYPE_CHECKING:
     from repro.storage.database import Database
@@ -109,13 +110,24 @@ class InvertedIndex:
     produce identical postings for the same corpus.
     """
 
-    def __init__(self, snapshot_version: int) -> None:
-        self.snapshot_version = snapshot_version
+    def __init__(self, epoch: Epoch) -> None:
+        self.epoch = epoch
+        """The :class:`~repro.search.epoch.Epoch` this index serves.
+        The index is valid only while the engine's epoch carries the
+        same idf ``snapshot_version``."""
         self.doc_count = 0
         self.postings_total = 0
         self.decoded_terms = 0
+        self.reused_postings = 0
+        """Posting runs carried over unchanged by the last
+        :meth:`apply_update` (0 for a from-scratch build)."""
         self._terms: dict[str, Postings] = {}
         self._norms: dict[int, float] = {}
+
+    @property
+    def snapshot_version(self) -> int:
+        """The idf snapshot component of :attr:`epoch`."""
+        return self.epoch.snapshot_version
 
     # -- construction -----------------------------------------------------
 
@@ -123,10 +135,10 @@ class InvertedIndex:
     def build(
         cls,
         vectors: Mapping[int, "SparseVector"],
-        snapshot_version: int,
+        epoch: Epoch,
     ) -> "InvertedIndex":
-        """Index ``doc_id -> tf*idf vector`` under one idf snapshot."""
-        index = cls(snapshot_version)
+        """Index ``doc_id -> tf*idf vector`` under one epoch."""
+        index = cls(epoch)
         norms = {
             doc_id: vectors[doc_id].norm for doc_id in sorted(vectors)
         }
@@ -175,7 +187,59 @@ class InvertedIndex:
             doc_id: vectorizer.vectorize_counts(counts[doc_id])
             for doc_id in sorted(counts)
         }
-        return cls.build(vectors, vectorizer.snapshot_version)
+        return cls.build(
+            vectors, Epoch.initial(vectorizer.snapshot_version)
+        )
+
+    def apply_update(
+        self,
+        vectors: Mapping[int, "SparseVector"],
+        dirty_terms: Iterable[str],
+        epoch: Epoch,
+    ) -> "InvertedIndex":
+        """A new index folding a document delta into this one.
+
+        ``vectors`` is the *post-delta* corpus; ``dirty_terms`` is every
+        term whose posting run may differ from this index -- any term
+        occurring in an added, changed, or removed document (under its
+        old or new vector), plus any term whose idf changed.  Posting
+        runs for clean terms are carried over by reference (their doc
+        ids, weights and max-impact metadata are bitwise what a
+        from-scratch :meth:`build` would recompute); dirty runs are
+        rebuilt from ``vectors`` through the same code path as
+        :meth:`build`, so the result is bit-identical to a full rebuild
+        -- the parity pinned by ``tests/portal/test_incremental_parity``.
+        """
+        index = InvertedIndex(epoch)
+        norms = {
+            doc_id: vectors[doc_id].norm for doc_id in sorted(vectors)
+        }
+        index._norms = norms
+        index.doc_count = len(norms)
+        dirty = frozenset(dirty_terms)
+        runs: dict[str, tuple[list[int], list[float]]] = {}
+        for doc_id in sorted(vectors):
+            weights = vectors[doc_id].weights
+            for term in sorted(weights):
+                if term not in dirty:
+                    continue
+                ids, run_weights = runs.setdefault(term, ([], []))
+                ids.append(doc_id)
+                run_weights.append(weights[term])
+        carried = sorted(
+            term for term in self._terms
+            if term not in dirty and term not in runs
+        )
+        rebuilt = sorted(runs)
+        for term in sorted([*carried, *rebuilt]):
+            if term in runs:
+                ids, run_weights = runs[term]
+                index._terms[term] = Postings(ids, run_weights, norms)
+            else:
+                index._terms[term] = self._terms[term]
+                index.reused_postings += 1
+            index.postings_total += index._terms[term].count
+        return index
 
     # -- access -----------------------------------------------------------
 
@@ -222,18 +286,20 @@ class InvertedIndex:
                 )
             ),
             "index_decoded_terms": float(self.decoded_terms),
+            "index_reused_postings": float(self.reused_postings),
             "index_snapshot_version": float(self.snapshot_version),
+            "index_epoch_ordinal": float(self.epoch.ordinal),
         }
 
 
 class QueryCache:
-    """Bounded LRU of ranked results keyed on the idf snapshot.
+    """Bounded LRU of ranked results keyed on the engine's epoch.
 
-    Keys embed the engine's ``(snapshot_version, generation)`` token, so
-    a retraining (new idf snapshot) or an archetype promotion /
-    ``refresh()`` (new generation) makes every previous entry
-    unreachable; the LRU bound then ages the stale entries out without
-    an explicit flush.  ``invalidate()`` drops everything eagerly.
+    Every entry is stored under ``(epoch, key)``: an epoch advance --
+    retraining, archetype promotion, ``rebuild()``, a recrawl delta --
+    makes every previous entry unreachable; the LRU bound then ages the
+    stale entries out without an explicit flush.  ``invalidate()``
+    drops everything eagerly.
     """
 
     def __init__(self, maxsize: int = 256) -> None:
@@ -246,23 +312,23 @@ class QueryCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key: Hashable) -> object | None:
+    def get(self, epoch: Epoch, key: Hashable) -> object | None:
         if self.maxsize == 0:
             self.misses += 1
             return None
-        entry = self._entries.get(key)
+        entry = self._entries.get((epoch, key))
         if entry is None:
             self.misses += 1
             return None
         self.hits += 1
-        self._entries.move_to_end(key)
+        self._entries.move_to_end((epoch, key))
         return entry
 
-    def put(self, key: Hashable, value: object) -> None:
+    def put(self, epoch: Epoch, key: Hashable, value: object) -> None:
         if self.maxsize == 0:
             return
-        self._entries[key] = value
-        self._entries.move_to_end(key)
+        self._entries[(epoch, key)] = value
+        self._entries.move_to_end((epoch, key))
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
 

@@ -10,9 +10,11 @@ clock so load experiments replay deterministically:
 * :class:`QueryServer` -- idempotent request handling (a replayed
   ``(client_id, request_id)`` returns the stored response without
   re-executing the query or double-charging tokens), a
-  :class:`~repro.search.index.QueryCache` keyed on the engine's idf
-  snapshot / generation token, a deterministic service-cost model, and
-  :mod:`repro.obs` latency histograms over the simulated service time;
+  :class:`~repro.search.index.QueryCache` keyed on the engine's typed
+  :class:`~repro.search.epoch.Epoch`, a deterministic service-cost
+  model, and :mod:`repro.obs` latency histograms over the simulated
+  service time; every response is stamped with the epoch it was
+  computed under, so replayed responses are checkable for staleness;
 * :class:`LoadConfig` / :func:`run_query_load` -- a deterministic
   Zipfian query-load generator: query popularity follows a Zipf
   distribution over a corpus-derived query pool, arrivals follow a
@@ -33,6 +35,7 @@ from collections.abc import Sequence
 from repro.core.crawler import CrawledDocument
 from repro.errors import SearchError
 from repro.search.engine import LocalSearchEngine, RankedHit, RankingWeights
+from repro.search.epoch import Epoch
 from repro.search.index import QueryCache
 from repro.web.clock import SimulatedClock, WorkerPool
 
@@ -127,6 +130,11 @@ class QueryResponse:
     """Simulated seconds from arrival to completion (queue + service)."""
     cached: bool
     """Whether the result came from the query-result cache."""
+    epoch: Epoch | None = None
+    """The engine epoch the response was computed under (None for
+    rate-limit rejections, which never touched the engine).  A replayed
+    response keeps its original epoch, so callers can detect that an
+    idempotent replay predates the current corpus."""
 
     @property
     def ok(self) -> bool:
@@ -222,8 +230,9 @@ class QueryServer:
         return response
 
     def _execute(self, request: QueryRequest, arrival: float) -> QueryResponse:
-        key = (self.engine.cache_token, request.cache_key())
-        entry = self.cache.get(key)
+        epoch = self.engine.epoch
+        key = request.cache_key()
+        entry = self.cache.get(epoch, key)
         cached = entry is not None
         hits: tuple[RankedHit, ...] = (
             entry if cached else ()  # type: ignore[assignment]
@@ -241,7 +250,7 @@ class QueryServer:
                         top_k=request.top_k,
                     )
                 )
-                self.cache.put(key, hits)
+                self.cache.put(epoch, key, hits)
             except SearchError as exc:
                 status = "failed"
                 error = str(exc)
@@ -258,6 +267,7 @@ class QueryServer:
             served_at=end,
             latency=end - arrival,
             cached=cached,
+            epoch=epoch,
         )
 
     def service_cost(self, hit_count: int, cached: bool) -> float:

@@ -260,10 +260,6 @@ class ShardedFrontier:
             "deferred_total": float(self.deferred_total),
         }
 
-    def counters(self) -> dict[str, int]:
-        """Integer alias of :meth:`stats` (single-frontier interface)."""
-        return {name: int(value) for name, value in self.stats().items()}
-
     @property
     def topics(self) -> list[str]:
         return sorted(self._topic_order)

@@ -118,6 +118,25 @@ class CorpusStatistics:
         self.document_count += 1
         self.document_frequency.update(set(terms))
 
+    def remove_document(self, terms: Iterable[str]) -> None:
+        """Retract one document's distinct terms from the live counts.
+
+        The exact inverse of :meth:`add_document`: df counts are
+        integers, so an add/remove pair leaves the statistics
+        value-identical to never having ingested the document at all --
+        the property the living portal's incremental idf update is
+        proven against.  Terms whose df reaches zero are deleted so the
+        live counts match a from-scratch recount key-for-key.
+        """
+        self.document_count -= 1
+        frequency = self.document_frequency
+        for term in sorted(set(terms)):
+            remaining = frequency[term] - 1
+            if remaining > 0:
+                frequency[term] = remaining
+            else:
+                del frequency[term]
+
     def refresh(self) -> None:
         """Promote live counts into the idf snapshot (called at retraining)."""
         self._snapshot_n = self.document_count
@@ -173,6 +192,10 @@ class TfIdfVectorizer:
     def ingest(self, terms: Iterable[str]) -> None:
         """Add a document to the corpus statistics (live counts only)."""
         self.statistics.add_document(terms)
+
+    def retract(self, terms: Iterable[str]) -> None:
+        """Remove a document from the corpus statistics (live counts)."""
+        self.statistics.remove_document(terms)
 
     def refresh(self) -> None:
         """Recompute the idf snapshot (BINGO! does this on retraining)."""

@@ -1,9 +1,12 @@
 """Deterministic page rendering: PageSpec -> HTML.
 
 Content is *not* stored with the graph; it is synthesised on each fetch
-from a per-page random stream seeded by ``(web_seed, page_id)``.  Two
-fetches of the same page therefore return byte-identical HTML, while a
-hundred-thousand-page Web costs only metadata until crawled.
+from a per-page random stream seeded by ``(web_seed, page_id,
+revision)``.  Two fetches of the same page at the same revision
+therefore return byte-identical HTML, while a hundred-thousand-page Web
+costs only metadata until crawled.  The living portal's web evolution
+(:mod:`repro.portal.evolution`) bumps ``PageSpec.revision`` to mutate a
+page's content deterministically.
 
 The renderer also produces anchor texts for outgoing links: mostly a few
 words from the *target* page's topic vocabulary (anchor texts describe
@@ -68,12 +71,17 @@ class PageRenderer:
         self.boilerplate_anchor_rate = boilerplate_anchor_rate
         self.stale_link_rate = stale_link_rate
 
-    def _rng(self, page_id: int) -> np.random.Generator:
-        return np.random.default_rng((self.seed << 20) ^ (page_id * 2654435761))
+    def _rng(self, page_id: int, revision: int = 0) -> np.random.Generator:
+        # revision 0 must seed exactly as the pre-evolution formula did,
+        # so a never-evolved web renders byte-identically
+        state = (self.seed << 20) ^ (page_id * 2654435761)
+        if revision:
+            state ^= revision * 0x9E3779B97F4A7C15
+        return np.random.default_rng(state)
 
     def body_terms(self, page: PageSpec) -> list[str]:
         """The page's body token sequence (pre-markup)."""
-        rng = self._rng(page.page_id)
+        rng = self._rng(page.page_id, page.revision)
         primary_length = page.length
         secondary: list[str] = []
         if page.secondary_topic is not None and page.secondary_share > 0:
@@ -92,7 +100,7 @@ class PageRenderer:
         return [merged[i] for i in order]
 
     def title_terms(self, page: PageSpec) -> list[str]:
-        rng = self._rng(page.page_id + 1_000_003)
+        rng = self._rng(page.page_id + 1_000_003, page.revision)
         count = int(rng.integers(3, 7))
         spec = min(page.specificity + 0.2, 1.0) if page.topic else 0.0
         return self.universe.sample_terms(rng, count, page.topic, spec)
@@ -112,7 +120,7 @@ class PageRenderer:
         title = " ".join(self.title_terms(page))
         body = self.body_terms(page)
         anchors = []
-        link_rng = self._rng(page.page_id + 55_000_007)
+        link_rng = self._rng(page.page_id + 55_000_007, page.revision)
         for target_id in page.out_links:
             target = self.pages[target_id]
             text = self.anchor_text(page, target)
@@ -124,7 +132,7 @@ class PageRenderer:
                 href = alternates[int(link_rng.integers(len(alternates)))]
             anchors.append(f'<a href="{href}">{text}</a>')
         # Interleave anchors through the body at deterministic positions.
-        rng = self._rng(page.page_id + 77_000_001)
+        rng = self._rng(page.page_id + 77_000_001, page.revision)
         chunks: list[str] = []
         if anchors:
             cut_points = sorted(

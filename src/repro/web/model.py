@@ -93,6 +93,10 @@ class PageSpec:
     """Alternative URLs that 302-redirect to the canonical URL."""
     copy_urls: list[str] = field(default_factory=list)
     """Alternative URLs serving identical bytes (IP+filesize duplicates)."""
+    revision: int = 0
+    """Content revision; the living portal's web evolution bumps it when
+    a page mutates, which re-seeds the renderer's per-page stream.  At
+    revision 0 rendering is byte-identical to a never-evolved web."""
 
     @property
     def size_bytes(self) -> int:

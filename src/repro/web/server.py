@@ -203,3 +203,22 @@ class SimulatedServer:
             url=url, status=FetchStatus.TOO_MANY_REDIRECTS,
             latency=latency, redirect_chain=chain,
         )
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable fetch state (per-URL attempt counters).
+
+        The per-fetch RNG is keyed on ``(url, attempt)``, so restoring
+        the attempt counters makes resumed fetch sequences -- including
+        latencies and fault rolls -- identical to an uninterrupted run.
+        """
+        return {
+            "attempts": dict(sorted(self._attempts.items())),
+            "fetch_counts": dict(sorted(self.fetch_counts.items())),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt fetch state from a :meth:`snapshot` image."""
+        self._attempts = Counter(state["attempts"])
+        self.fetch_counts = Counter(state["fetch_counts"])

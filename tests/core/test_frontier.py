@@ -253,7 +253,7 @@ class TestSnapshotRestore:
                 order_b.append(e.url)
         assert order_b == order_a
         assert len(order_a) == len(ready_ats) + 1
-        assert restored.counters() == frontier.counters()
+        assert restored.stats() == frontier.stats()
 
     def test_mid_release_snapshot_keeps_remaining_deferred_order(self) -> None:
         """Snapshotting after *some* deferred entries were released must
@@ -285,7 +285,7 @@ class TestSnapshotRestore:
 
 
 class TestStatsProtocol:
-    def test_stats_keys_and_counters_alias(self) -> None:
+    def test_stats_keys_are_snake_case_floats(self) -> None:
         clock = _Clock(0.0)
         frontier = CrawlFrontier(now=lambda: clock.now)
         frontier.push(entry("http://a/"))
@@ -304,9 +304,9 @@ class TestStatsProtocol:
             "deferred_total": 1.0,
         }
         assert all(isinstance(v, float) for v in stats.values())
-        counters = frontier.counters()
-        assert counters == {k: int(v) for k, v in stats.items()}
-        assert all(isinstance(v, int) for v in counters.values())
+        assert not hasattr(frontier, "counters"), (
+            "the counters() integer alias was removed; use stats()"
+        )
 
 
 class TestDeferredCounts:

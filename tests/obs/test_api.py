@@ -1,18 +1,11 @@
-"""The typed hook API: legacy adapter parity, hook-exception isolation."""
+"""The typed hook API: StageEvent delivery and hook-exception isolation."""
 
 from __future__ import annotations
-
-import warnings
 
 import pytest
 
 from repro.core.crawler import SOFT, FocusedCrawler, PhaseSettings
-from repro.obs.api import (
-    StageEvent,
-    adapt_legacy_hook,
-    as_hook,
-    is_legacy_hook,
-)
+from repro.obs.api import StageEvent
 from repro.pipeline import STAGE_NAMES
 from repro.web import SyntheticWeb
 
@@ -41,69 +34,23 @@ def run_phase(crawler, budget: int = 20):
     )
 
 
-class TestSignatureDetection:
-    def test_legacy_four_arg_callables_are_detected(self) -> None:
-        assert is_legacy_hook(lambda a, b, c, d: None)
+class TestTypedHookApi:
+    def test_legacy_adapter_is_gone(self) -> None:
+        """The one-release deprecation window for positional hooks is
+        over: the adapter helpers no longer exist."""
+        import repro.obs as obs
+        import repro.obs.api as api
 
-        def named(stage, n_in, n_out, elapsed):
-            pass
+        for name in ("as_hook", "is_legacy_hook", "adapt_legacy_hook"):
+            assert not hasattr(api, name)
+            assert not hasattr(obs, name)
+        assert not hasattr(StageEvent, "as_legacy_tuple")
 
-        assert is_legacy_hook(named)
-
-    def test_typed_hooks_are_not_adapted(self) -> None:
+    def test_add_hook_registers_callable_unwrapped(self, web) -> None:
+        crawler = build_crawler(web)
         hook = lambda event: None  # noqa: E731
-        assert not is_legacy_hook(hook)
-        assert as_hook(hook) is hook
-
-    def test_adaptation_warns_deprecation(self) -> None:
-        with pytest.deprecated_call():
-            adapt_legacy_hook(lambda a, b, c, d: None)
-
-    def test_add_hook_warns_for_legacy_signatures(self, web) -> None:
-        crawler = build_crawler(web)
-        with pytest.deprecated_call():
-            crawler.pipeline.add_hook(lambda a, b, c, d: None)
-
-
-class TestLegacyAdapterParity:
-    def test_adapter_replays_the_positional_arguments(self) -> None:
-        calls: list[tuple] = []
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            adapter = adapt_legacy_hook(
-                lambda stage, n_in, n_out, elapsed: calls.append(
-                    (stage, n_in, n_out, elapsed)
-                )
-            )
-        event = StageEvent(
-            stage="classify", batch_index=7, in_size=8, out_size=6,
-            elapsed=0.25, extras={"accepted": 4},
-        )
-        adapter(event)
-        assert calls == [("classify", 8, 6, 0.25)]
-        assert adapter.__wrapped_legacy__ is not None
-
-    def test_legacy_and_typed_hooks_observe_identical_values(
-        self, web
-    ) -> None:
-        crawler = build_crawler(web)
-        legacy: list[tuple] = []
-        typed: list[tuple] = []
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            crawler.pipeline.add_hook(
-                lambda stage, n_in, n_out, elapsed: legacy.append(
-                    (stage, n_in, n_out)
-                )
-            )
-        crawler.pipeline.add_hook(
-            lambda event: typed.append(
-                (event.stage, event.in_size, event.out_size)
-            )
-        )
-        run_phase(crawler)
-        assert legacy, "hooks never fired"
-        assert legacy == typed
+        crawler.pipeline.add_hook(hook)
+        assert crawler.pipeline.hooks[-1] is hook
 
     def test_typed_events_carry_batch_index_and_extras(self, web) -> None:
         crawler = build_crawler(web, pipeline_batch_size=4)
@@ -145,3 +92,15 @@ class TestHookExceptionIsolation:
             ].values()
         )
         assert errors == batches
+
+    def test_positional_hook_now_fails_per_event_not_fatally(
+        self, web
+    ) -> None:
+        """A left-behind 4-argument hook no longer gets adapted; every
+        delivery raises inside the isolation boundary instead of
+        crashing the crawl."""
+        crawler = build_crawler(web)
+        crawler.pipeline.add_hook(lambda a, b, c, d: None)
+        stats = run_phase(crawler)
+        assert stats.visited_urls > 0
+        assert crawler.obs.registry.value("pipeline_hook_errors_total") > 0

@@ -61,7 +61,7 @@ def fingerprint(crawler, stats, database) -> dict:
             for d in crawler.documents
         ],
         "clock": crawler.clock.now,
-        "frontier": crawler.frontier.counters(),
+        "frontier": crawler.frontier.stats(),
         # relations are unordered row sets; scan order reflects which
         # workspace buffer happened to fill first, which legitimately
         # shifts with the global add order at different batch sizes

@@ -94,7 +94,7 @@ class TestContextKillResume:
             d.final_url for d in b.documents
         ]
         assert a.hosts.to_dict() == b.hosts.to_dict()
-        assert a.frontier.counters() == b.frontier.counters()
+        assert a.frontier.stats() == b.frontier.stats()
         assert a.log_sequence == b.log_sequence
         assert a.docs_since_retrain == b.docs_since_retrain
 

@@ -1,0 +1,156 @@
+"""Kill-and-resume: a checkpointed portal continues bit-identically.
+
+The scenario each test pins: a portal lives through evolution and a
+folded recrawl cycle, then a second cycle is *interrupted* mid-drain
+(``fetch_limit``), checkpointed, and the process "dies".  A fresh
+process re-runs the deterministic crawl, restores the JSON-round-tripped
+checkpoint, and both portals drain the leftover frontier -- every
+freshness counter, scheduler stat and ranked result must agree.
+
+Epoch note: a restored engine rebuilds its idf lineage from scratch, so
+epoch identity across restore is ``(ordinal, generation, reason)`` --
+the snapshot component intentionally follows the new vectorizer.
+"""
+
+from __future__ import annotations
+
+import json
+
+from tests.portal.conftest import build_portal
+
+QUERIES = ("database recovery", "mining patterns")
+
+
+def epoch_identity(epoch):
+    return (epoch.ordinal, epoch.generation, epoch.reason)
+
+
+def result_tuples(search, query):
+    return [
+        (h.document.doc_id, h.score)
+        for h in search.search(query, top_k=10)
+    ]
+
+
+def interrupt_and_checkpoint(portal) -> dict:
+    """Evolve, fold one cycle, interrupt a second one, checkpoint."""
+    portal.evolve(3600.0)
+    folded = portal.recrawl(budget=60)
+    assert folded.folded
+    portal.evolve(1800.0)
+    partial = portal.recrawl(budget=40, fetch_limit=10)
+    assert not partial.folded
+    assert partial.search is None
+    assert len(portal.scheduler.frontier) > 0
+    # the checkpoint must survive a process boundary
+    return json.loads(json.dumps(portal.checkpoint()))
+
+
+def assert_resumed_portals_agree(original, restored) -> None:
+    horizon = original.clock.now
+    done_a = original.recrawl(None)
+    done_b = restored.recrawl(None)
+    assert done_a.folded and done_b.folded
+    assert done_a.stats() == done_b.stats()
+    assert original.scheduler.stats() == restored.scheduler.stats()
+    assert original.freshness(at=horizon) == restored.freshness(at=horizon)
+    assert epoch_identity(original.search.epoch) == epoch_identity(
+        restored.search.epoch
+    )
+    for query in QUERIES:
+        assert result_tuples(original.search, query) == result_tuples(
+            restored.search, query
+        )
+
+
+class TestKillMidRecrawl:
+    def test_resume_matches_the_uninterrupted_portal(self) -> None:
+        original = build_portal()
+        state = interrupt_and_checkpoint(original)
+
+        restored = build_portal()
+        restored.restore(state)
+        assert restored.cycles_run == original.cycles_run
+        assert restored.clock.now == original.clock.now
+        assert (
+            restored.evolution.stats() == original.evolution.stats()
+        )
+        # the restored engine serves exactly the checkpoint-time corpus:
+        # the pending (unfolded) delta must not leak into it
+        assert [d.doc_id for d in restored.search.documents] == [
+            d.doc_id for d in original.search.documents
+        ]
+        assert epoch_identity(restored.search.epoch) == epoch_identity(
+            original.search.epoch
+        )
+        assert_resumed_portals_agree(original, restored)
+
+    def test_checkpoint_restores_pending_delta_counters(self) -> None:
+        original = build_portal()
+        state = interrupt_and_checkpoint(original)
+        restored = build_portal().restore(state)
+
+        ours = original.scheduler.pending
+        theirs = restored.scheduler.pending
+        assert [d.doc_id for d in theirs.added] == [
+            d.doc_id for d in ours.added
+        ]
+        assert [d.doc_id for d in theirs.changed] == [
+            d.doc_id for d in ours.changed
+        ]
+        assert theirs.removed == ours.removed
+        assert sorted(theirs.previous) == sorted(ours.previous)
+        assert len(restored.scheduler.frontier) == len(
+            original.scheduler.frontier
+        )
+
+
+class TestShardedEpochRoundTrip:
+    """The ``--workers N`` path: sharded frontier, same guarantees."""
+
+    def test_sharded_resume_matches_and_epoch_round_trips(self) -> None:
+        original = build_portal(workers=3)
+        state = interrupt_and_checkpoint(original)
+        assert state["scheduler"]["workers"] == 3
+
+        restored = build_portal(workers=3)
+        restored.restore(state)
+        assert epoch_identity(restored.search.epoch) == epoch_identity(
+            original.search.epoch
+        )
+        assert_resumed_portals_agree(original, restored)
+        # a further full cycle after resume stays in lockstep
+        original.evolve(1800.0)
+        restored.evolve(1800.0)
+        cycle_a = original.recrawl(budget=30)
+        cycle_b = restored.recrawl(budget=30)
+        assert cycle_a.stats() == cycle_b.stats()
+        assert epoch_identity(cycle_a.epoch) == epoch_identity(
+            cycle_b.epoch
+        )
+
+    def test_sharded_and_single_worker_portals_share_the_lifecycle(
+        self,
+    ) -> None:
+        sharded = build_portal(workers=3)
+        single = build_portal(workers=1)
+        for portal in (sharded, single):
+            portal.evolve(3600.0)
+        cycle_s = sharded.recrawl(budget=50)
+        cycle_1 = single.recrawl(budget=50)
+        assert cycle_s.folded and cycle_1.folded
+        # host partitioning reorders fetches (latencies and discovered
+        # doc ids may permute) but the order-independent outcome agrees
+        assert epoch_identity(cycle_s.epoch) == epoch_identity(
+            cycle_1.epoch
+        )
+        for field in ("changed", "unchanged", "dead", "fetched"):
+            assert getattr(cycle_s.recrawl, field) == getattr(
+                cycle_1.recrawl, field
+            ), field
+        assert sorted(
+            d.doc_id for d in sharded.search.documents
+        ) == sorted(d.doc_id for d in single.search.documents)
+        assert sorted(
+            d.final_url for d in sharded.search.documents
+        ) == sorted(d.final_url for d in single.search.documents)

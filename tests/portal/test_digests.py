@@ -1,0 +1,122 @@
+"""Content digests and the delta container's merge semantics."""
+
+from __future__ import annotations
+
+import json
+
+from repro.portal import DigestStore, DocumentDelta, content_digest
+
+from tests.search.conftest import make_doc
+
+
+class TestContentDigest:
+    def test_stable_and_discriminating(self) -> None:
+        assert content_digest("body") == content_digest("body")
+        assert content_digest("body") != content_digest("other")
+        assert len(content_digest("body")) == 32
+
+    def test_none_equals_empty_payload(self) -> None:
+        assert content_digest(None) == content_digest("")
+
+
+class TestDigestStore:
+    def test_new_changed_unchanged_transitions(self) -> None:
+        store = DigestStore()
+        url = "http://a.example/p.html"
+        assert store.record(url, "d1", at=1.0, page_id=4) == DigestStore.NEW
+        assert store.record(url, "d1", at=2.0) == DigestStore.UNCHANGED
+        assert store.record(url, "d2", at=3.0) == DigestStore.CHANGED
+        row = store.get(url)
+        assert row["digest"] == "d2"
+        assert row["page_id"] == 4
+        assert row["fetched_at"] == 3.0
+        assert row["check_count"] == 3
+        assert row["change_count"] == 1
+        assert store.digest_of(url) == "d2"
+        assert url in store and len(store) == 1
+
+    def test_forget_drops_dead_urls(self) -> None:
+        store = DigestStore()
+        store.record("http://a.example/p.html", "d1", at=1.0)
+        assert store.forget("http://a.example/p.html")
+        assert not store.forget("http://a.example/p.html")
+        assert store.digest_of("http://a.example/p.html") is None
+        assert len(store) == 0
+
+    def test_stats_are_snake_case_floats(self) -> None:
+        store = DigestStore()
+        store.record("http://a.example/p.html", "d1", at=1.0)
+        store.record("http://a.example/p.html", "d2", at=2.0)
+        stats = store.stats()
+        assert stats["digests_stored"] == 1.0
+        assert stats["digests_recorded"] == 2.0
+        assert stats["digest_changes_detected"] == 1.0
+        assert all(isinstance(v, float) for v in stats.values())
+
+    def test_snapshot_restore_round_trips_through_json(self) -> None:
+        store = DigestStore()
+        store.record("http://a.example/p.html", "d1", at=1.0, page_id=1)
+        store.record("http://b.example/q.html", "d2", at=2.0, page_id=2)
+        store.record("http://a.example/p.html", "d3", at=3.0)
+        state = json.loads(json.dumps(store.snapshot()))
+
+        restored = DigestStore()
+        restored.restore(state)
+        assert restored.stats() == store.stats()
+        for url in ("http://a.example/p.html", "http://b.example/q.html"):
+            assert restored.get(url) == store.get(url)
+        # restored store keeps detecting changes with full history
+        assert (
+            restored.record("http://a.example/p.html", "d3", at=4.0)
+            == DigestStore.UNCHANGED
+        )
+
+
+class TestDocumentDeltaMerge:
+    """One delta spans many fetches; repeats must collapse."""
+
+    def test_change_of_an_added_doc_updates_the_addition(self) -> None:
+        delta = DocumentDelta()
+        v1 = make_doc(7, {"a": 1})
+        v2 = make_doc(7, {"a": 2})
+        delta.record_added(v1)
+        delta.record_changed(v1, v2)
+        assert delta.added == [v2]
+        assert delta.changed == [] and delta.previous == {}
+
+    def test_repeat_changes_collapse_to_oldest_previous(self) -> None:
+        delta = DocumentDelta()
+        v1, v2, v3 = (make_doc(7, {"a": n}) for n in (1, 2, 3))
+        delta.record_changed(v1, v2)
+        delta.record_changed(v2, v3)
+        assert delta.changed == [v3]
+        assert delta.previous == {7: v1}
+
+    def test_removal_of_an_added_doc_vanishes(self) -> None:
+        delta = DocumentDelta()
+        doc = make_doc(7, {"a": 1})
+        delta.record_added(doc)
+        assert delta.record_removed(doc) is False
+        assert delta.empty
+
+    def test_removal_of_a_changed_doc_keeps_oldest_previous(self) -> None:
+        delta = DocumentDelta()
+        v1, v2 = make_doc(7, {"a": 1}), make_doc(7, {"a": 2})
+        delta.record_changed(v1, v2)
+        assert delta.record_removed(v2) is True
+        assert delta.changed == []
+        assert delta.removed == [7]
+        assert delta.previous == {7: v1}
+
+    def test_stats_and_empty(self) -> None:
+        delta = DocumentDelta()
+        assert delta.empty
+        delta.record_added(make_doc(1, {"a": 1}))
+        delta.record_changed(make_doc(2, {"b": 1}), make_doc(2, {"b": 2}))
+        delta.record_removed(make_doc(3, {"c": 1}))
+        assert not delta.empty
+        assert delta.stats() == {
+            "delta_added": 1.0,
+            "delta_changed": 1.0,
+            "delta_removed": 1.0,
+        }

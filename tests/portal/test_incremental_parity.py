@@ -1,0 +1,155 @@
+"""Acceptance gate: incremental folds are bit-identical to rebuilds.
+
+After a batch of evolve + recrawl cycles, the portal's incrementally
+maintained search engine (``apply_delta`` folds, partial vector
+recomputation, posting reuse) must be indistinguishable -- document
+frequencies, idf snapshot, every vector weight, and every ranked result
+(ids, scores, order) -- from a :class:`LocalSearchEngine` rebuilt from
+scratch over the same served documents.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.search.engine import LocalSearchEngine, RankingWeights
+
+from tests.portal.conftest import build_portal
+
+QUERIES = (
+    "database recovery",
+    "mining patterns",
+    "recovery algorithms source code",
+)
+
+FILTERS = (
+    (None, True),
+    ("ROOT/databases", True),
+    ("ROOT/databases", False),
+    ("ROOT/datamining", True),
+    ("ROOT/nonexistent", True),
+)
+
+WEIGHTS = (
+    RankingWeights(cosine=1.0),
+    RankingWeights(cosine=0.5, confidence=0.5),
+    RankingWeights(cosine=0.4, confidence=0.3, authority=0.3),
+)
+
+
+def hit_tuples(hits):
+    return [
+        (h.document.doc_id, h.score, h.cosine, h.confidence, h.authority)
+        for h in hits
+    ]
+
+
+@pytest.fixture(scope="module")
+def evolved_portal():
+    """A portal that lived through three mutation/recrawl cycles."""
+    portal = build_portal()
+    folds = 0
+    for _ in range(3):
+        portal.evolve(3600.0)
+        cycle = portal.recrawl(budget=60)
+        assert cycle.folded
+        if cycle.search is not None:
+            folds += 1
+    # the scenario must actually exercise the incremental path
+    assert folds > 0, "evolution produced no delta to fold"
+    return portal
+
+
+@pytest.fixture(scope="module")
+def rebuilt(evolved_portal):
+    """The from-scratch reference over the identical served corpus."""
+    return LocalSearchEngine(evolved_portal.search.documents)
+
+
+class TestIncrementalEqualsRebuild:
+    def test_corpus_and_idf_statistics_match(
+        self, evolved_portal, rebuilt
+    ) -> None:
+        incremental = evolved_portal.search
+        assert [d.doc_id for d in incremental.documents] == [
+            d.doc_id for d in rebuilt.documents
+        ]
+        a = incremental.vectorizer.statistics
+        b = rebuilt.vectorizer.statistics
+        assert a.document_count == b.document_count
+        assert dict(a.document_frequency) == dict(b.document_frequency)
+        assert dict(a.snapshot_df) == dict(b.snapshot_df)
+        assert a.snapshot_size == b.snapshot_size
+
+    def test_every_vector_is_bit_identical(
+        self, evolved_portal, rebuilt
+    ) -> None:
+        incremental = evolved_portal.search
+        assert incremental._vectors.keys() == rebuilt._vectors.keys()
+        for doc_id in sorted(incremental._vectors):
+            ours = incremental._vectors[doc_id]
+            reference = rebuilt._vectors[doc_id]
+            assert ours.weights == reference.weights, doc_id
+            assert ours.norm == reference.norm, doc_id
+
+    def test_ranked_results_match_across_topk_and_filters(
+        self, evolved_portal, rebuilt
+    ) -> None:
+        incremental = evolved_portal.search
+        size = len(rebuilt.documents)
+        for query in QUERIES:
+            for topic, exact in FILTERS:
+                for weights in WEIGHTS:
+                    for top_k in (1, 3, 10, size + 5):
+                        ours = incremental.search(
+                            query, topic=topic, exact=exact,
+                            weights=weights, top_k=top_k,
+                        )
+                        reference = rebuilt.search(
+                            query, topic=topic, exact=exact,
+                            weights=weights, top_k=top_k,
+                        )
+                        assert hit_tuples(ours) == hit_tuples(reference), (
+                            f"query={query!r} topic={topic!r} "
+                            f"exact={exact} top_k={top_k}"
+                        )
+
+    def test_indexed_path_still_matches_brute_force(
+        self, evolved_portal
+    ) -> None:
+        incremental = evolved_portal.search
+        for query in QUERIES:
+            query_vector = incremental._query_vector(query)
+            brute = incremental.rank_all(
+                incremental.filter(None), query_vector, RankingWeights()
+            )
+            indexed = incremental.search(query, top_k=10)
+            assert hit_tuples(indexed) == hit_tuples(brute[:10])
+
+    def test_epoch_advanced_once_per_fold(self, evolved_portal) -> None:
+        epoch = evolved_portal.search.epoch
+        assert epoch.reason == "recrawl"
+        assert epoch.generation >= 1
+        assert epoch.ordinal >= epoch.generation
+
+
+class TestNonEvolvingBaseline:
+    def test_recrawl_without_evolution_changes_nothing(self) -> None:
+        portal = build_portal()
+        before = [
+            (d.doc_id, d.final_url) for d in portal.search.documents
+        ]
+        epoch_before = portal.search.epoch
+        cycle = portal.recrawl(budget=40)
+        assert cycle.folded
+        assert cycle.search is None  # empty delta: no epoch churn
+        assert cycle.recrawl.changed == 0
+        assert cycle.recrawl.dead == 0
+        assert portal.search.epoch == epoch_before
+        assert [
+            (d.doc_id, d.final_url) for d in portal.search.documents
+        ] == before
+        report = portal.freshness()
+        assert report.stale_documents == 0
+        assert report.dead_indexed == 0
+        assert report.lag_max == 0.0

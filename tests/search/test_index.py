@@ -14,6 +14,7 @@ from repro.perf.topk import (
     wand_topk,
 )
 from repro.search.engine import LocalSearchEngine
+from repro.search.epoch import Epoch
 from repro.search.index import InvertedIndex, Postings, QueryCache
 from repro.storage import Database, sync_term_statistics
 
@@ -174,43 +175,74 @@ class TestInvertedIndex:
 
 class TestQueryCache:
     def test_hit_miss_and_lru(self) -> None:
+        epoch = Epoch.initial(1)
         cache = QueryCache(maxsize=2)
-        assert cache.get("a") is None
-        cache.put("a", 1)
-        cache.put("b", 2)
-        assert cache.get("a") == 1
-        cache.put("c", 3)  # evicts b (least recently used)
-        assert cache.get("b") is None
-        assert cache.get("a") == 1
-        assert cache.get("c") == 3
+        assert cache.get(epoch, "a") is None
+        cache.put(epoch, "a", 1)
+        cache.put(epoch, "b", 2)
+        assert cache.get(epoch, "a") == 1
+        cache.put(epoch, "c", 3)  # evicts b (least recently used)
+        assert cache.get(epoch, "b") is None
+        assert cache.get(epoch, "a") == 1
+        assert cache.get(epoch, "c") == 3
         assert cache.stats()["query_cache_entries"] == 2.0
 
+    def test_epoch_advance_makes_entries_unreachable(self) -> None:
+        epoch = Epoch.initial(1)
+        cache = QueryCache(maxsize=4)
+        cache.put(epoch, "a", 1)
+        advanced = epoch.advance("rebuild")
+        assert cache.get(advanced, "a") is None
+        assert cache.get(epoch, "a") == 1  # old epoch still addressable
+
     def test_invalidate(self) -> None:
+        epoch = Epoch.initial(1)
         cache = QueryCache()
-        cache.put("a", 1)
+        cache.put(epoch, "a", 1)
         cache.invalidate()
-        assert cache.get("a") is None
+        assert cache.get(epoch, "a") is None
         assert cache.stats()["query_cache_invalidations"] == 1.0
 
     def test_zero_capacity(self) -> None:
+        epoch = Epoch.initial(1)
         cache = QueryCache(maxsize=0)
-        cache.put("a", 1)
-        assert cache.get("a") is None
+        cache.put(epoch, "a", 1)
+        assert cache.get(epoch, "a") is None
 
-    def test_engine_cache_token_changes_on_refresh(self) -> None:
+
+class TestEpochLifecycle:
+    def test_engine_epoch_advances_on_rebuild(self) -> None:
         engine = LocalSearchEngine(_corpus())
-        token = engine.cache_token
+        epoch = engine.epoch
         before = [
             (h.document.doc_id, h.score) for h in engine.search("recovery")
         ]
-        assert engine.cache_token == token
-        engine.refresh()
-        assert engine.cache_token != token
+        assert engine.epoch == epoch
+        rebuilt = engine.rebuild(reason="retrain")
+        assert rebuilt.ordinal > epoch.ordinal
+        assert rebuilt.generation == epoch.generation + 1
+        assert rebuilt.reason == "retrain"
         # same corpus, fresh index: results are unchanged
         after = [
             (h.document.doc_id, h.score) for h in engine.search("recovery")
         ]
         assert after == before and before
+
+    def test_cache_token_shim_warns_and_mirrors_epoch(self) -> None:
+        engine = LocalSearchEngine(_corpus())
+        with pytest.deprecated_call():
+            token = engine.cache_token
+        assert token == engine.epoch.token
+        assert token == (
+            engine.epoch.snapshot_version, engine.epoch.generation
+        )
+
+    def test_refresh_shim_warns_and_rebuilds(self) -> None:
+        engine = LocalSearchEngine(_corpus())
+        epoch = engine.epoch
+        with pytest.deprecated_call():
+            engine.refresh()
+        assert engine.epoch.generation == epoch.generation + 1
 
 
 class TestTermStatisticsSync:

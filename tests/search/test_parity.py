@@ -158,9 +158,9 @@ class TestRankParity:
         engine = LocalSearchEngine(corpus)
         assert engine.search("recovery", top_k=0) == []
 
-    def test_parity_survives_refresh(self) -> None:
+    def test_parity_survives_rebuild(self) -> None:
         documents = random_corpus(5, 15)
         engine = LocalSearchEngine(documents[:10])
         assert_parity(engine, 10)
-        engine.refresh(documents)
+        engine.rebuild(documents, reason="growth")
         assert_parity(engine, 15)

@@ -121,9 +121,9 @@ class TestResultCache:
         response = server.handle(request("r2", top_k=7))
         assert not response.cached
 
-    def test_engine_refresh_invalidates(self, server) -> None:
+    def test_engine_rebuild_invalidates(self, server) -> None:
         server.handle(request("r1"))
-        server.engine.refresh()
+        server.engine.rebuild(reason="retrain")
         response = server.handle(request("r2"))
         assert not response.cached
         assert server.engine.queries == 2

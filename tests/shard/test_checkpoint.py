@@ -84,11 +84,11 @@ class TestShardedKillResume:
         assert [d.final_url for d in a.documents] == [
             d.final_url for d in b.documents
         ]
-        assert a.frontier.counters() == b.frontier.counters()
+        assert a.frontier.stats() == b.frontier.stats()
         assert a.frontier.sequence.value == b.frontier.sequence.value
         assert a.hosts.to_dict() == b.hosts.to_dict()
         for shard_a, shard_b in zip(a.frontier.shards, b.frontier.shards):
-            assert shard_a.counters() == shard_b.counters()
+            assert shard_a.stats() == shard_b.stats()
             assert shard_a._seen_urls == shard_b._seen_urls
 
     def test_worker_set_counters_survive(self, kill_resume) -> None:

@@ -85,7 +85,7 @@ def decision_fingerprint(crawler, stats, database) -> dict:
         "hosts_sha": sha(sorted(stats.hosts_visited)),
         "doc_urls_sha": sha([d.final_url for d in crawler.documents]),
         "doc_topics_sha": sha([d.topic for d in crawler.documents]),
-        "frontier": crawler.frontier.counters(),
+        "frontier": crawler.frontier.stats(),
         "frontier_seen_sha": sha(sorted(crawler.frontier._seen_urls)),
         "converted_formats": dict(crawler.converted_formats),
         "retry_log": len(crawler.retry_log),

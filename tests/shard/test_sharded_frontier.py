@@ -69,7 +69,7 @@ def make_pair(workers, clock, script, limits=None):
 
 
 def assert_counters_equal(single, sharded):
-    assert sharded.counters() == single.counters()
+    assert sharded.stats() == single.stats()
     assert sharded.stats() == single.stats()
     assert len(sharded) == len(single)
     assert sharded.enqueued == single.enqueued
@@ -273,7 +273,7 @@ def test_snapshot_restore_round_trip():
         now=lambda: clock["now"],
     )
     restored.restore(state)
-    assert restored.counters() == sharded.counters()
+    assert restored.stats() == sharded.stats()
 
     clock["now"] = 41.0
     a_pops, b_pops = [], []

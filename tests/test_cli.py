@@ -36,6 +36,44 @@ class TestParser:
         assert args.export_portal == "x"
         assert args.dump_db == "y"
 
+    def test_portal_tables_subcommand_mirrors_bare_form(self) -> None:
+        bare = build_parser().parse_args(["portal", "--seed", "9"])
+        grouped = build_parser().parse_args(
+            ["portal", "--seed", "9", "tables"]
+        )
+        explicit = build_parser().parse_args(
+            ["portal", "tables", "--seed", "9"]
+        )
+        assert bare.portal_command is None
+        assert grouped.portal_command == explicit.portal_command == "tables"
+        for args in (bare, grouped, explicit):
+            assert (args.seed, args.short, args.long) == (9, 700, 6000)
+
+    def test_portal_group_shares_workers_and_metrics_out(self) -> None:
+        for name in ("crawl", "queryload", "evolve", "recrawl"):
+            args = build_parser().parse_args(
+                ["portal", name, "--workers", "4", "--metrics-out", "m.json"]
+            )
+            assert args.portal_command == name
+            assert args.workers == 4
+            assert args.metrics_out == "m.json"
+
+    def test_portal_recrawl_arguments(self) -> None:
+        args = build_parser().parse_args(
+            ["portal", "recrawl", "--cycles", "2",
+             "--recrawl-budget", "30", "--seconds", "900"]
+        )
+        assert args.cycles == 2
+        assert args.recrawl_budget == 30
+        assert args.seconds == 900.0
+        assert args.evolution_seed is None
+
+    def test_legacy_aliases_still_parse(self) -> None:
+        crawl = build_parser().parse_args(["crawl", "--workers", "2"])
+        assert crawl.command == "crawl" and crawl.workers == 2
+        queryload = build_parser().parse_args(["queryload"])
+        assert queryload.command == "queryload" and queryload.workers == 1
+
 
 class TestCrawlCommand:
     def test_crawl_prints_and_exports(self, tmp_path, capsys) -> None:
@@ -60,6 +98,38 @@ class TestCrawlCommand:
         out = capsys.readouterr().out
         assert "Figure 4" in out
         assert "Figure 5" in out
+
+    def test_legacy_crawl_warns_and_delegates(self, capsys) -> None:
+        code = main(["crawl", "--budget", "60", "--top", "2"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "`repro portal crawl`" in captured.err
+        assert "visited_urls" in captured.out
+
+    def test_portal_crawl_runs_without_notice(self, capsys) -> None:
+        code = main(["portal", "crawl", "--budget", "60", "--top", "2"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "deprecated" not in captured.err
+        assert "visited_urls" in captured.out
+
+
+class TestPortalLifecycleCommands:
+    def test_portal_recrawl_runs_cycles(self, tmp_path, capsys) -> None:
+        metrics = tmp_path / "metrics.json"
+        code = main([
+            "portal", "recrawl", "--budget", "120",
+            "--cycles", "1", "--seconds", "1200",
+            "--recrawl-budget", "20",
+            "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cycle 1:" in out
+        assert "serving epoch: epoch#" in out
+        assert "freshness_stale" in out
+        assert metrics.exists()
 
 
 class TestExitCodeContract:
