@@ -69,7 +69,7 @@ def main() -> None:
 
     # Every subsystem reported into one metrics registry (repro.obs);
     # the same snapshot is exportable as Prometheus text or JSON via
-    # `python -m repro.cli crawl --metrics-out metrics.json`.
+    # `python -m repro.cli portal crawl --metrics-out metrics.json`.
     snapshot = engine.obs.registry.snapshot()
     print("\nfinal metrics snapshot (per-subsystem stats sources):")
     for source, stats in snapshot["sources"].items():

@@ -16,9 +16,8 @@ and ``--metrics-out``.  Standalone experiments keep their own commands::
     python -m repro.cli expert    --seed 7  --budget 700
     python -m repro.cli ablate    --which focus archetypes negatives features
 
-The old top-level ``crawl`` and ``queryload`` commands keep working for
-one release but print a deprecation notice pointing at the ``portal``
-group.
+(The one-release top-level ``crawl``/``queryload`` aliases are gone;
+use the ``portal`` group.)
 
 Every run is deterministic given its ``--seed``.
 
@@ -158,27 +157,6 @@ def build_parser() -> argparse.ArgumentParser:
     expert.add_argument("--seed", type=int, default=7)
     expert.add_argument("--budget", type=int, default=700,
                         help="harvesting fetch budget")
-
-    # deprecated top-level aliases of `portal crawl` / `portal queryload`
-    crawl = sub.add_parser(
-        "crawl",
-        help="deprecated alias of `portal crawl` (one release)",
-    )
-    crawl.add_argument("--workers", type=int, default=1,
-                       help="crawl workers (host-partitioned sharding)")
-    crawl.add_argument("--metrics-out", metavar="PATH", default=None,
-                       help="write the final metrics snapshot to PATH")
-    _add_crawl_arguments(crawl)
-
-    queryload = sub.add_parser(
-        "queryload",
-        help="deprecated alias of `portal queryload` (one release)",
-    )
-    queryload.add_argument("--workers", type=int, default=1,
-                           help="crawl workers (host-partitioned sharding)")
-    queryload.add_argument("--metrics-out", metavar="PATH", default=None,
-                           help="write the final metrics snapshot to PATH")
-    _add_queryload_arguments(queryload)
 
     ablate = sub.add_parser(
         "ablate", help="sections 3.1-3.4 design-choice ablations"
@@ -383,18 +361,6 @@ def _cmd_portal(args) -> int:
     return handlers[args.portal_command](args)
 
 
-def _deprecated_alias(name: str, handler):
-    def run(args) -> int:
-        print(
-            f"note: `repro {name}` is deprecated; "
-            f"use `repro portal {name}` instead",
-            file=sys.stderr,
-        )
-        return handler(args)
-
-    return run
-
-
 def main(argv: Sequence[str] | None = None) -> int:
     try:
         args = build_parser().parse_args(argv)
@@ -403,8 +369,6 @@ def main(argv: Sequence[str] | None = None) -> int:
     commands = {
         "portal": _cmd_portal,
         "expert": _cmd_expert,
-        "crawl": _deprecated_alias("crawl", _cmd_crawl),
-        "queryload": _deprecated_alias("queryload", _cmd_queryload),
         "ablate": _cmd_ablate,
     }
     try:

@@ -1,0 +1,30 @@
+"""Whole-program contract checkers (``scope == "project"`` rules).
+
+These rules consume the :class:`~repro.lint.graph.ProjectIndex` the
+engine builds after parsing every file, instead of a single module
+AST.  They enforce the invariants that only exist *between* files:
+
+* :mod:`repro.lint.analysis.taint` -- ``clock-taint`` / ``rng-taint``:
+  interprocedural dataflow from wall-clock and unseeded-RNG sources
+  into frontier/scheduler/classifier decision sites, catching values
+  laundered through helpers that the per-call rules cannot see;
+* :mod:`repro.lint.analysis.contracts` -- ``epoch-mutation``: state
+  behind the typed Epoch (engine vectors, inverted index, query cache,
+  idf snapshot, classifier models) may only change inside its
+  lifecycle funnels; ``deprecated-api``: removed shims stay gone;
+* :mod:`repro.lint.analysis.isolation` -- ``shard-isolation``: code
+  running in per-worker scope must not mutate cross-shard state
+  except through the sharded-frontier and barrier APIs;
+* :mod:`repro.lint.analysis.schema` -- ``stats-schema``: metric
+  source names collide nowhere, ``stats()`` keys stay snake_case, and
+  no subsystem emits stats that nothing exports.
+
+Importing this package registers every rule, exactly like
+:mod:`repro.lint.rules`.
+"""
+
+from __future__ import annotations
+
+from repro.lint.analysis import contracts, isolation, schema, taint
+
+__all__ = ["contracts", "isolation", "schema", "taint"]

@@ -1,0 +1,247 @@
+"""``epoch-mutation`` and ``deprecated-api``: the Epoch lifecycle.
+
+PR 9 made every piece of query-serving state hang off a typed
+:class:`~repro.search.epoch.Epoch`: the engine's vectors and inverted
+index, the query cache, the idf snapshot and the classifier's decision
+models all advance together through two funnels --
+``rebuild(reason=)`` and ``apply_delta(reason=)``.  A write that
+bypasses the funnels leaves cache keys, snapshot versions and index
+contents silently disagreeing.  ``epoch-mutation`` makes the funnel a
+checked property: any mutation of contract state whose receiver is
+provably one of the guarded classes, from outside that class's
+sanctioned methods, is a finding.
+
+``deprecated-api`` guards the other half of the PR 9 bargain: the
+one-release compatibility shims (``LocalSearchEngine.cache_token``,
+``LocalSearchEngine.refresh()``, the top-level ``crawl``/``queryload``
+CLI aliases) are now removed, and this rule keeps them from creeping
+back in.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lint.analysis.writes import iter_attr_writes
+from repro.lint.engine import ProjectContext
+from repro.lint.findings import Finding
+from repro.lint.graph import (
+    ClassSymbol,
+    FunctionSymbol,
+    ProjectIndex,
+    scope_expressions,
+)
+from repro.lint.registry import Rule, register
+
+__all__ = ["DeprecatedApi", "EpochMutation"]
+
+
+@dataclass(frozen=True)
+class MutationContract:
+    """Guarded attributes and sanctioned mutators of one class."""
+
+    attrs: frozenset[str]
+    funnels: frozenset[str]
+
+
+#: class name -> the state behind the Epoch and its lifecycle funnels
+CONTRACTS: dict[str, MutationContract] = {
+    "LocalSearchEngine": MutationContract(
+        attrs=frozenset(
+            {
+                "_epoch", "_vectors", "_index", "_by_id",
+                "documents", "vectorizer",
+            }
+        ),
+        funnels=frozenset(
+            {
+                "__init__", "epoch", "advance_epoch", "restore_epoch",
+                "index", "rebuild", "apply_delta",
+            }
+        ),
+    ),
+    "InvertedIndex": MutationContract(
+        attrs=frozenset(
+            {"_terms", "_norms", "doc_count", "postings_total"}
+        ),
+        funnels=frozenset(
+            {"__init__", "build", "from_database", "apply_update"}
+        ),
+    ),
+    "QueryCache": MutationContract(
+        attrs=frozenset(
+            {"_entries", "hits", "misses", "invalidations", "maxsize"}
+        ),
+        funnels=frozenset({"__init__", "get", "put", "invalidate"}),
+    ),
+    "CorpusStatistics": MutationContract(
+        attrs=frozenset(
+            {
+                "_snapshot_n", "_snapshot_df", "_snapshot_version",
+                "_idf_cache",
+            }
+        ),
+        funnels=frozenset({"__init__", "refresh", "idf"}),
+    ),
+    "HierarchicalClassifier": MutationContract(
+        attrs=frozenset({"models", "trained", "model_version"}),
+        funnels=frozenset({"__init__", "train", "retrain_topics"}),
+    ),
+}
+
+
+def _mro_names(index: ProjectIndex, qualname: str) -> set[str]:
+    return {symbol.name for symbol in index.mro(qualname)}
+
+
+@register
+class EpochMutation(Rule):
+    """Flag epoch-guarded state mutated outside its lifecycle funnel."""
+
+    id = "epoch-mutation"
+    scope = "project"
+    description = (
+        "engine/index/cache/idf-snapshot/classifier state may only "
+        "change inside its Epoch lifecycle funnels "
+        "(rebuild/apply_delta and the class's own mutators)"
+    )
+    rationale = (
+        "The typed Epoch guarantees that cache keys, snapshot versions "
+        "and index contents advance together; one out-of-band write "
+        "desynchronises them without any failing assertion, serving "
+        "stale rankings until the next full rebuild."
+    )
+
+    def check_project(
+        self, index: ProjectIndex, project: ProjectContext
+    ) -> Iterator[Finding]:
+        for qualname in sorted(index.functions):
+            function = index.functions[qualname]
+            yield from self._check_function(index, function)
+
+    def _check_function(
+        self, index: ProjectIndex, function: FunctionSymbol
+    ) -> Iterator[Finding]:
+        unit = function.module
+        enclosing_names: set[str] = set()
+        if function.class_name is not None:
+            enclosing_names = _mro_names(index, function.class_name)
+        for write in iter_attr_writes(function):
+            receiver = index.expr_type(
+                unit, write.base, function.local_types
+            )
+            if receiver is None or receiver.container:
+                continue
+            owner = index.classes.get(receiver.qualname)
+            if owner is None:
+                continue
+            contract = CONTRACTS.get(owner.name)
+            if contract is None or write.attr not in contract.attrs:
+                continue
+            if (
+                owner.name in enclosing_names
+                and function.name in contract.funnels
+            ):
+                continue
+            funnels = ", ".join(sorted(contract.funnels))
+            yield self.finding_at(
+                unit.display_path,
+                write.line,
+                write.col,
+                f"write to {owner.name}.{write.attr} bypasses the "
+                f"Epoch lifecycle; mutations are only allowed inside "
+                f"{owner.name}.{{{funnels}}}",
+            )
+
+
+#: removed shim name -> replacement guidance.  Uses are only flagged
+#: when the receiver provably types as LocalSearchEngine -- "refresh"
+#: is far too common a name to flag on sight.
+_REMOVED_ENGINE_SHIMS: dict[str, str] = {
+    "cache_token": "read engine.epoch instead",
+    "refresh": "call rebuild(reason=...) instead",
+}
+
+
+@register
+class DeprecatedApi(Rule):
+    """Flag reintroduction or use of removed compatibility shims."""
+
+    id = "deprecated-api"
+    scope = "project"
+    description = (
+        "removed shims (LocalSearchEngine.cache_token/refresh, "
+        "_deprecated_alias CLI wrappers) must not be reintroduced"
+    )
+    rationale = (
+        "PR 9 shipped these as one-release bridges and this release "
+        "removed them; code that defines or calls them again would "
+        "resurrect the untyped (version, generation) cache token and "
+        "the alias maze the typed Epoch replaced."
+    )
+
+    def check_project(
+        self, index: ProjectIndex, project: ProjectContext
+    ) -> Iterator[Finding]:
+        for qualname in sorted(index.classes):
+            symbol = index.classes[qualname]
+            if symbol.name == "LocalSearchEngine":
+                yield from self._check_definitions(index, symbol)
+        for qualname in sorted(index.functions):
+            function = index.functions[qualname]
+            if function.name == "_deprecated_alias":
+                yield self.finding_at(
+                    function.module.display_path,
+                    function.line,
+                    0,
+                    "_deprecated_alias was removed with the top-level "
+                    "crawl/queryload aliases; register subcommands "
+                    "under the portal group directly",
+                )
+                continue
+            yield from self._check_uses(index, function)
+
+    def _check_definitions(
+        self, index: ProjectIndex, symbol: ClassSymbol
+    ) -> Iterator[Finding]:
+        for name in sorted(_REMOVED_ENGINE_SHIMS):
+            method_qualname = symbol.methods.get(name)
+            if method_qualname is None:
+                continue
+            method = index.functions.get(method_qualname)
+            if method is None:
+                continue
+            yield self.finding_at(
+                symbol.module.display_path,
+                method.line,
+                0,
+                f"LocalSearchEngine.{name} is a removed shim; "
+                f"{_REMOVED_ENGINE_SHIMS[name]}",
+            )
+
+    def _check_uses(
+        self, index: ProjectIndex, function: FunctionSymbol
+    ) -> Iterator[Finding]:
+        unit = function.module
+        for node in scope_expressions(function.node):
+            if not isinstance(node, ast.Attribute):
+                continue
+            shim = _REMOVED_ENGINE_SHIMS.get(node.attr)
+            if shim is None:
+                continue
+            receiver = index.expr_type(
+                unit, node.value, function.local_types
+            )
+            if receiver is None or receiver.container:
+                continue
+            owner = index.classes.get(receiver.qualname)
+            if owner is None or owner.name != "LocalSearchEngine":
+                continue
+            yield self.finding_at(
+                unit.display_path,
+                node.lineno,
+                node.col_offset,
+                f"LocalSearchEngine.{node.attr} was removed; {shim}",
+            )

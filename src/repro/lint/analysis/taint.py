@@ -1,0 +1,87 @@
+"""``clock-taint`` and ``rng-taint``: dataflow into decision sites.
+
+The per-call rules (``no-wall-clock``, ``no-unseeded-random``) flag
+the *call*; these rules flag the *flow*.  ``now = helper()`` where
+``helper`` reads ``time.monotonic`` three modules away, then
+``frontier.push(entry)`` after ``entry.priority = now``, is invisible
+to a single-file pass and caught here.  Both rules share one
+memoised fixpoint run of :func:`repro.lint.dataflow.analyze_taint`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.dataflow import TaintFlow, analyze_taint
+from repro.lint.engine import ProjectContext
+from repro.lint.findings import Finding
+from repro.lint.graph import ProjectIndex
+from repro.lint.registry import Rule, register
+
+__all__ = ["ClockTaint", "RngTaint"]
+
+
+class _TaintRule(Rule):
+    """Common plumbing: run the dataflow, filter by category."""
+
+    scope = "project"
+    category = ""
+    remedy = ""
+
+    def check_project(
+        self, index: ProjectIndex, project: ProjectContext
+    ) -> Iterator[Finding]:
+        for flow in analyze_taint(index):
+            if flow.category != self.category:
+                continue
+            yield self.finding_at(
+                flow.path,
+                flow.line,
+                flow.col,
+                self._message(flow),
+            )
+
+    def _message(self, flow: TaintFlow) -> str:
+        return (
+            f"value from {flow.source}() flows into decision site "
+            f"{flow.sink}(); {self.remedy}"
+        )
+
+
+@register
+class ClockTaint(_TaintRule):
+    """Wall-clock values must not reach crawl/classify decisions."""
+
+    id = "clock-taint"
+    category = "clock"
+    description = (
+        "wall-clock values (time.*, datetime.now) must not flow into "
+        "frontier, scheduler or classifier decision sites"
+    )
+    rationale = (
+        "no-wall-clock catches the call; this catches the value.  A "
+        "timestamp laundered through helpers into a frontier priority "
+        "or recrawl schedule silently breaks replay determinism, and "
+        "even the metrics-only perf_counter is a violation once its "
+        "value reaches a decision."
+    )
+    remedy = "thread simulated time from repro.web.clock instead"
+
+
+@register
+class RngTaint(_TaintRule):
+    """Unseeded-RNG values must not reach crawl/classify decisions."""
+
+    id = "rng-taint"
+    category = "rng"
+    description = (
+        "unseeded/global RNG values must not flow into frontier, "
+        "scheduler or classifier decision sites"
+    )
+    rationale = (
+        "A value drawn from process-global or entropy-backed RNG makes "
+        "every downstream crawl decision depend on import and test "
+        "order, however many helper functions it passes through on the "
+        "way; all stochastic choices must derive from BingoConfig.seed."
+    )
+    remedy = "derive it from a Generator seeded via BingoConfig.seed"

@@ -13,6 +13,7 @@ Examples::
     python -m repro.lint src --format json
     python -m repro.lint src --select no-wall-clock,no-unseeded-random
     python -m repro.lint src --write-baseline   # grandfather the rest
+    python -m repro.lint src --graph-out graph.json
     python -m repro.lint --list-rules
 """
 
@@ -71,6 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="list every registered rule and exit",
     )
+    parser.add_argument(
+        "--graph-out", metavar="PATH", default=None,
+        help=(
+            "dump the whole-program symbol table and call graph as "
+            "JSON to PATH ('-' for stdout) after linting"
+        ),
+    )
     return parser
 
 
@@ -123,7 +131,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _usage_error(f"no such path: {', '.join(missing)}")
 
     engine = LintEngine(rules=rules)
-    findings = engine.run(paths)
+    findings, index = engine.analyze(
+        paths, want_index=args.graph_out is not None
+    )
+    if args.graph_out is not None and index is not None:
+        from repro.lint.graph import render_graph_json
+
+        rendered = render_graph_json(index)
+        if args.graph_out == "-":
+            print(rendered, end="")
+        else:
+            Path(args.graph_out).write_text(rendered, encoding="utf-8")
 
     baseline_path = (
         Path(args.baseline)

@@ -1,0 +1,578 @@
+"""Interprocedural taint dataflow over the project call graph.
+
+The per-file determinism rules flag *calls* -- ``time.time()`` in a
+frontier module is caught, ``time.time()`` laundered through a helper
+two modules away is not.  This engine closes that gap: it tracks
+where clock and RNG values *flow*.
+
+The model is a classic summary-based taint analysis:
+
+* **Sources** generate taint tagged with a category (``clock`` or
+  ``rng``) and the originating target (``time.monotonic``).  The
+  sanctioned clock abstraction (``repro.web.clock``) is exempt -- its
+  whole point is to be the injection seam.
+* Each function gets a **summary**: the taint of its return value
+  (category tags plus ``param N`` tags for pass-through flows) and the
+  set of parameters that reach a sink somewhere below it.
+* **Sinks** are decision sites: frontier admission and requeueing,
+  recrawl scheduling, classifier training and classification.  A
+  category-tagged value reaching a sink argument -- directly or through
+  any chain of calls -- is a finding, reported once at the call site
+  where the tainted value enters the sink-reaching chain.
+
+Summaries are iterated to a global fixpoint over sorted qualnames, so
+recursion and call cycles converge and the output is deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.engine import ModuleUnit
+from repro.lint.graph import (
+    CallSite,
+    FunctionSymbol,
+    ProjectIndex,
+    scope_expressions,
+)
+
+__all__ = [
+    "CLOCK_SOURCES",
+    "SINK_METHODS",
+    "Taint",
+    "TaintFlow",
+    "analyze_taint",
+]
+
+#: modules whose clock reads are sanctioned (the injection seam)
+EXEMPT_MODULES = frozenset({"repro.web.clock"})
+
+#: call targets whose return value is wall-clock tainted.  Unlike the
+#: per-call no-wall-clock rule, perf_counter *is* a source here: it is
+#: fine for metrics, but a perf_counter value flowing into a frontier
+#: or classifier decision is just as nondeterministic as time.time.
+CLOCK_SOURCES = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.clock_gettime",
+        "time.clock_gettime_ns",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: numpy module-level (global-state) random functions
+_NUMPY_GLOBAL_RANDOM = frozenset(
+    {
+        "numpy.random.rand",
+        "numpy.random.randn",
+        "numpy.random.randint",
+        "numpy.random.random",
+        "numpy.random.random_sample",
+        "numpy.random.uniform",
+        "numpy.random.normal",
+        "numpy.random.choice",
+        "numpy.random.shuffle",
+        "numpy.random.permutation",
+    }
+)
+
+#: (class name, method name) pairs that are taint sinks: crawl and
+#: classification decision sites where a nondeterministic value breaks
+#: replayability.
+SINK_METHODS = frozenset(
+    {
+        ("CrawlFrontier", "push"),
+        ("CrawlFrontier", "requeue"),
+        ("ShardedFrontier", "push"),
+        ("ShardedFrontier", "requeue"),
+        ("RecrawlScheduler", "schedule"),
+        ("RecrawlScheduler", "prime"),
+        ("RecrawlScheduler", "run"),
+        ("HierarchicalClassifier", "train"),
+        ("HierarchicalClassifier", "retrain_topics"),
+        ("HierarchicalClassifier", "classify"),
+        ("HierarchicalClassifier", "classify_batch"),
+    }
+)
+
+_MAX_LOCAL_PASSES = 3
+_MAX_GLOBAL_ROUNDS = 12
+
+
+@dataclass(frozen=True)
+class Taint:
+    """The provenance of one value: source categories and/or params."""
+
+    cats: frozenset[tuple[str, str]] = frozenset()
+    """(category, source target) pairs, e.g. ("clock", "time.time")."""
+    params: frozenset[int] = frozenset()
+    """Indices of the enclosing function's parameters this value may
+    carry -- the pass-through half of a function summary."""
+
+    def __or__(self, other: "Taint") -> "Taint":
+        if other.empty:
+            return self
+        if self.empty:
+            return other
+        return Taint(self.cats | other.cats, self.params | other.params)
+
+    @property
+    def empty(self) -> bool:
+        return not self.cats and not self.params
+
+
+_NO_TAINT = Taint()
+
+
+@dataclass(frozen=True)
+class TaintFlow:
+    """One category-tainted value reaching one sink argument."""
+
+    category: str
+    source: str
+    """Originating call target (``time.monotonic``)."""
+    sink: str
+    """``Class.method`` label of the decision site reached."""
+    path: str
+    line: int
+    col: int
+    function: str
+    """Qualname of the function containing the reported call site."""
+
+
+@dataclass
+class _Summary:
+    return_taint: Taint = _NO_TAINT
+    sink_params: dict[int, str] = field(default_factory=dict)
+    """Param index -> sink label the param flows into below here."""
+
+    def key(self) -> tuple[object, ...]:
+        return (
+            self.return_taint,
+            tuple(sorted(self.sink_params.items())),
+        )
+
+
+def _source_taint(site: CallSite) -> Taint:
+    """Taint generated by the call itself, if it is a source."""
+    target = site.target
+    if target is None:
+        return _NO_TAINT
+    if target in CLOCK_SOURCES:
+        return Taint(cats=frozenset({("clock", target)}))
+    seedless = not site.node.args and not site.node.keywords
+    rng: str | None = None
+    if target == "random.Random" and seedless:
+        rng = target
+    elif target == "random.SystemRandom":
+        rng = target
+    elif target.startswith("random.") and target not in (
+        "random.Random",
+        "random.SystemRandom",
+    ):
+        # module-level draws share the hidden global Mersenne state;
+        # a *seeded* random.Random(...) instance is fine and is
+        # excluded here (the seedless case matched above)
+        rng = target
+    elif target == "numpy.random.default_rng" and seedless:
+        rng = target
+    elif target in _NUMPY_GLOBAL_RANDOM:
+        rng = target
+    if rng is not None:
+        return Taint(cats=frozenset({("rng", rng)}))
+    return _NO_TAINT
+
+
+class _FunctionAnalysis:
+    """One intraprocedural pass: statement walk + expression eval."""
+
+    def __init__(
+        self,
+        index: ProjectIndex,
+        function: FunctionSymbol,
+        summaries: dict[str, _Summary],
+    ) -> None:
+        self.index = index
+        self.function = function
+        self.summaries = summaries
+        self.unit: ModuleUnit = function.module
+        self.exempt = function.module.module_name in EXEMPT_MODULES
+        self.env: dict[str, Taint] = {}
+        self.summary = _Summary()
+        self.flows: list[TaintFlow] = []
+        for position, name in enumerate(function.params):
+            self.env[name] = Taint(params=frozenset({position}))
+        self._sites: dict[tuple[int, int], CallSite] = {
+            (site.line, site.col): site for site in function.calls
+        }
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self) -> None:
+        statements = self._statements(self.function.node)
+        for _ in range(_MAX_LOCAL_PASSES):
+            before = dict(self.env)
+            self.flows = []
+            for statement in statements:
+                self._visit(statement)
+            if self.env == before:
+                break
+
+    @staticmethod
+    def _statements(node: ast.AST) -> list[ast.stmt]:
+        out: list[ast.stmt] = []
+        stack: list[ast.stmt] = list(
+            reversed(getattr(node, "body", []))
+        )
+        while stack:
+            statement = stack.pop()
+            out.append(statement)
+            if isinstance(
+                statement,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue
+            blocks: list[list[ast.stmt]] = []
+            for attr in ("body", "orelse", "finalbody"):
+                blocks.append(list(getattr(statement, attr, [])))
+            for handler in getattr(statement, "handlers", []):
+                blocks.append(list(handler.body))
+            for block in reversed(blocks):
+                stack.extend(reversed(block))
+        return out
+
+    # -- statements -------------------------------------------------------
+
+    def _visit(self, statement: ast.stmt) -> None:
+        if isinstance(
+            statement,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+        ):
+            return
+        if isinstance(statement, ast.Assign):
+            taint = self._eval(statement.value)
+            for target in statement.targets:
+                self._bind(target, taint)
+        elif isinstance(statement, ast.AnnAssign):
+            if statement.value is not None:
+                self._bind(
+                    statement.target, self._eval(statement.value)
+                )
+        elif isinstance(statement, ast.AugAssign):
+            taint = self._eval(statement.value)
+            if isinstance(statement.target, ast.Name):
+                existing = self.env.get(statement.target.id, _NO_TAINT)
+                self.env[statement.target.id] = existing | taint
+            else:
+                self._bind(statement.target, taint)
+        elif isinstance(statement, ast.Return):
+            if statement.value is not None:
+                self.summary.return_taint = (
+                    self.summary.return_taint
+                    | self._eval(statement.value)
+                )
+        elif isinstance(statement, (ast.For, ast.AsyncFor)):
+            self._bind(statement.target, self._eval(statement.iter))
+        elif isinstance(statement, ast.Expr):
+            self._eval(statement.value)
+        else:
+            for child in ast.iter_child_nodes(statement):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+
+    def _bind(self, target: ast.expr, taint: Taint) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = taint
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, taint)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            # storing a tainted value into a local object taints the
+            # object: entry.priority = now; frontier.push(entry)
+            base = target.value
+            while isinstance(base, (ast.Attribute, ast.Subscript)):
+                base = base.value
+            if isinstance(base, ast.Name) and not taint.empty:
+                existing = self.env.get(base.id, _NO_TAINT)
+                self.env[base.id] = existing | taint
+
+    # -- expressions ------------------------------------------------------
+
+    def _eval(self, node: ast.expr) -> Taint:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, _NO_TAINT)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Attribute):
+            return self._eval(node.value)
+        if isinstance(node, (ast.Lambda, ast.Constant)):
+            return _NO_TAINT
+        taint = _NO_TAINT
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                taint = taint | self._eval(child)
+        return taint
+
+    def _eval_call(self, call: ast.Call) -> Taint:
+        site = self._sites.get((call.lineno, call.col_offset))
+        arg_taints = [self._eval(arg) for arg in call.args]
+        keyword_taints = {
+            keyword.arg: self._eval(keyword.value)
+            for keyword in call.keywords
+        }
+        receiver_taint = _NO_TAINT
+        if isinstance(call.func, ast.Attribute):
+            receiver_taint = self._eval(call.func.value)
+
+        if site is not None and not self.exempt:
+            generated = _source_taint(site)
+            if not generated.empty:
+                return generated
+
+        callee = (
+            self.index.functions.get(site.callee)
+            if site is not None and site.callee is not None
+            else None
+        )
+        sink_label = self._sink_label(site, callee)
+        if sink_label is not None:
+            self._check_sink_args(
+                call, sink_label, arg_taints, keyword_taints,
+                self._sink_param_offset(site, callee),
+            )
+        elif callee is not None:
+            self._apply_callee_sinks(
+                site, call, callee, arg_taints, keyword_taints,
+                receiver_taint,
+            )
+
+        if callee is not None:
+            summary = self.summaries.get(callee.qualname)
+            result = _NO_TAINT
+            if summary is not None:
+                result = self._substitute(
+                    site, callee, summary.return_taint,
+                    arg_taints, keyword_taints, receiver_taint,
+                )
+            if callee.name == "__init__":
+                # a constructed object carries whatever taint its
+                # constructor arguments carried (the fields hold them)
+                for arg_taint in arg_taints:
+                    result = result | arg_taint
+                for value in keyword_taints.values():
+                    result = result | value
+            return result
+        # unknown external call: conservatively propagate arguments
+        taint = receiver_taint
+        for arg_taint in arg_taints:
+            taint = taint | arg_taint
+        for value in keyword_taints.values():
+            taint = taint | value
+        return taint
+
+    # -- call plumbing ----------------------------------------------------
+
+    def _sink_label(
+        self, site: CallSite | None, callee: FunctionSymbol | None
+    ) -> str | None:
+        """``Class.method`` when the call hits a sink, else None."""
+        if site is None:
+            return None
+        method: str | None = None
+        class_names: list[str] = []
+        if callee is not None and callee.class_name is not None:
+            method = callee.name
+            owner = self.index.classes.get(callee.class_name)
+            if owner is not None:
+                class_names.append(owner.name)
+        elif isinstance(site.node.func, ast.Attribute):
+            method = site.node.func.attr
+            receiver = self.index.expr_type(
+                self.unit, site.node.func.value,
+                self.function.local_types,
+            )
+            if receiver is not None and not receiver.container:
+                owner = self.index.classes.get(receiver.qualname)
+                if owner is not None:
+                    class_names.append(owner.name)
+        if method is None:
+            return None
+        for name in class_names:
+            if (name, method) in SINK_METHODS:
+                return f"{name}.{method}"
+        return None
+
+    @staticmethod
+    def _sink_param_offset(
+        site: CallSite | None, callee: FunctionSymbol | None
+    ) -> int:
+        """Positional offset between call args and callee params
+        (1 for a bound method call, else 0)."""
+        if (
+            callee is not None
+            and callee.class_name is not None
+            and site is not None
+            and isinstance(site.node.func, ast.Attribute)
+        ):
+            return 1
+        return 0
+
+    def _check_sink_args(
+        self,
+        call: ast.Call,
+        sink_label: str,
+        arg_taints: list[Taint],
+        keyword_taints: dict[str | None, Taint],
+        offset: int,
+    ) -> None:
+        for position, taint in enumerate(arg_taints):
+            self._record_sink_hit(
+                call.args[position], taint, sink_label, offset + position
+            )
+        for keyword in call.keywords:
+            taint = keyword_taints.get(keyword.arg, _NO_TAINT)
+            self._record_sink_hit(
+                keyword.value, taint, sink_label, None
+            )
+
+    def _record_sink_hit(
+        self,
+        node: ast.expr,
+        taint: Taint,
+        sink_label: str,
+        param_position: int | None,
+    ) -> None:
+        for category, source in sorted(taint.cats):
+            self.flows.append(
+                TaintFlow(
+                    category=category,
+                    source=source,
+                    sink=sink_label,
+                    path=self.unit.display_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    function=self.function.qualname,
+                )
+            )
+        for param in sorted(taint.params):
+            self.summary.sink_params.setdefault(param, sink_label)
+        # param_position documents the callee-side index; the label is
+        # what downstream callers need, so nothing else to record.
+        del param_position
+
+    def _apply_callee_sinks(
+        self,
+        site: CallSite | None,
+        call: ast.Call,
+        callee: FunctionSymbol,
+        arg_taints: list[Taint],
+        keyword_taints: dict[str | None, Taint],
+        receiver_taint: Taint,
+    ) -> None:
+        """Propagate transitive sink flows through a resolved call."""
+        summary = self.summaries.get(callee.qualname)
+        if summary is None or not summary.sink_params:
+            return
+        offset = self._sink_param_offset(site, callee)
+        mapped: dict[int, tuple[ast.expr, Taint]] = {}
+        for position, taint in enumerate(arg_taints):
+            mapped[offset + position] = (call.args[position], taint)
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                continue
+            try:
+                param_index = callee.params.index(keyword.arg)
+            except ValueError:
+                continue
+            mapped[param_index] = (
+                keyword.value,
+                keyword_taints.get(keyword.arg, _NO_TAINT),
+            )
+        if offset == 1 and isinstance(call.func, ast.Attribute):
+            mapped[0] = (call.func.value, receiver_taint)
+        for param_index in sorted(summary.sink_params):
+            entry = mapped.get(param_index)
+            if entry is None:
+                continue
+            node, taint = entry
+            self._record_sink_hit(
+                node, taint, summary.sink_params[param_index], None
+            )
+
+    def _substitute(
+        self,
+        site: CallSite | None,
+        callee: FunctionSymbol,
+        return_taint: Taint,
+        arg_taints: list[Taint],
+        keyword_taints: dict[str | None, Taint],
+        receiver_taint: Taint,
+    ) -> Taint:
+        """Instantiate a callee's return taint with this call's args."""
+        result = Taint(cats=return_taint.cats)
+        offset = self._sink_param_offset(site, callee)
+        for param_index in sorted(return_taint.params):
+            if param_index == 0 and offset == 1:
+                result = result | receiver_taint
+                continue
+            position = param_index - offset
+            if 0 <= position < len(arg_taints):
+                result = result | arg_taints[position]
+            elif param_index < len(callee.params):
+                name = callee.params[param_index]
+                result = result | keyword_taints.get(name, _NO_TAINT)
+        return result
+
+
+def analyze_taint(index: ProjectIndex) -> list[TaintFlow]:
+    """All clock/RNG flows into sinks, deterministically ordered.
+
+    The result is memoised on the index, so the clock and RNG rules
+    share one fixpoint run.
+    """
+    cached = index.caches.get("taint")
+    if isinstance(cached, list):
+        return cached
+    summaries: dict[str, _Summary] = {
+        qualname: _Summary() for qualname in index.functions
+    }
+    flows: list[TaintFlow] = []
+    for _ in range(_MAX_GLOBAL_ROUNDS):
+        flows = []
+        changed = False
+        for qualname in sorted(index.functions):
+            analysis = _FunctionAnalysis(
+                index, index.functions[qualname], summaries
+            )
+            # seed with the previous round's own summary so recursive
+            # sink_params survive re-analysis
+            analysis.summary.sink_params.update(
+                summaries[qualname].sink_params
+            )
+            analysis.run()
+            flows.extend(analysis.flows)
+            if analysis.summary.key() != summaries[qualname].key():
+                summaries[qualname] = analysis.summary
+                changed = True
+        if not changed:
+            break
+    unique = sorted(
+        set(flows),
+        key=lambda flow: (
+            flow.path, flow.line, flow.col, flow.category,
+            flow.source, flow.sink,
+        ),
+    )
+    index.caches["taint"] = unique
+    return unique

@@ -26,10 +26,13 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.lint.findings import Finding
 from repro.lint.registry import Rule, all_rules
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.graph import ProjectIndex
 
 __all__ = [
     "DEFAULT_EXCLUDED_DIRS",
@@ -256,19 +259,54 @@ class LintEngine:
 
     def run(self, paths: Iterable[Path | str]) -> list[Finding]:
         """Lint ``paths``; returns findings in canonical sorted order."""
+        findings, _ = self.analyze(paths)
+        return findings
+
+    def analyze(
+        self, paths: Iterable[Path | str], want_index: bool = False
+    ) -> "tuple[list[Finding], ProjectIndex | None]":
+        """Lint ``paths`` and (optionally) return the project index.
+
+        Module-scope rules run per file as each parses; project-scope
+        rules run once over the :class:`~repro.lint.graph.
+        ProjectIndex` built from every successfully parsed file.  The
+        index is only built when a project rule is active or the
+        caller asked for it (``--graph-out``).  Per-line suppressions
+        apply to project findings exactly as to module findings, via
+        the finding's display path.
+        """
         files = self.iter_files(paths)
         project = self.build_project(files)
+        module_rules = [
+            rule for rule in self.rules if rule.scope == "module"
+        ]
+        project_rules = [
+            rule for rule in self.rules if rule.scope == "project"
+        ]
         findings: list[Finding] = []
+        units: list[ModuleUnit] = []
         for path in files:
             loaded = self.load(path)
             if isinstance(loaded, Finding):
                 findings.append(loaded)
                 continue
-            for rule in self.rules:
+            units.append(loaded)
+            for rule in module_rules:
                 for finding in rule.check(loaded, project):
                     if not loaded.is_suppressed(finding):
                         findings.append(finding)
-        return sorted(findings)
+        index: "ProjectIndex | None" = None
+        if want_index or project_rules:
+            from repro.lint.graph import ProjectIndex
+
+            index = ProjectIndex.build(units)
+            by_path = {unit.display_path: unit for unit in units}
+            for rule in project_rules:
+                for finding in rule.check_project(index, project):
+                    unit = by_path.get(finding.path)
+                    if unit is None or not unit.is_suppressed(finding):
+                        findings.append(finding)
+        return sorted(findings), index
 
 
 def _class_attributes(node: ast.ClassDef) -> set[str]:

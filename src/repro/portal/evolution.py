@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.web.model import MimeType, PageRole, PageSpec
+from repro.web.web import SyntheticWeb
 
 __all__ = ["EvolutionConfig", "WebEvolution"]
 
@@ -82,7 +83,11 @@ class EvolutionConfig:
 class WebEvolution:
     """Applies the deterministic mutation schedule to a synthetic Web."""
 
-    def __init__(self, web, config: EvolutionConfig | None = None) -> None:
+    def __init__(
+        self,
+        web: SyntheticWeb,
+        config: EvolutionConfig | None = None,
+    ) -> None:
         self.web = web
         self.config = config or EvolutionConfig()
         self.config.validate()

@@ -20,7 +20,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from repro.core.crawler import CrawledDocument
+from repro.core.ontology import TopicTree
+
+if TYPE_CHECKING:
+    from repro.core.engine import BingoEngine
 
 __all__ = ["DocumentDelta", "fold_into_classifier"]
 
@@ -89,7 +95,9 @@ class DocumentDelta:
         }
 
 
-def _affected_children(tree, affected_topics: set[str]) -> list[str]:
+def _affected_children(
+    tree: TopicTree, affected_topics: set[str]
+) -> list[str]:
     """Every child topic whose decision model can differ.
 
     A changed document in topic T is a positive example for T and every
@@ -114,7 +122,9 @@ def _affected_children(tree, affected_topics: set[str]) -> list[str]:
     return sorted(retrain)
 
 
-def fold_into_classifier(engine, delta: DocumentDelta) -> int:
+def fold_into_classifier(
+    engine: "BingoEngine", delta: DocumentDelta
+) -> int:
     """Fold a :class:`DocumentDelta` into the engine's classifier.
 
     Adjusts the per-space df statistics exactly (retract old, ingest

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.engine import BingoEngine
 from repro.portal.digests import content_digest
 from repro.portal.evolution import EvolutionConfig, WebEvolution
 from repro.portal.incremental import fold_into_classifier
@@ -108,7 +109,7 @@ class LivingPortal:
 
     def __init__(
         self,
-        engine,
+        engine: BingoEngine,
         search: LocalSearchEngine | None = None,
         evolution: WebEvolution | None = None,
         evolution_config: EvolutionConfig | None = None,

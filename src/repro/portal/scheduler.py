@@ -32,13 +32,14 @@ from repro.analysis.graph import LinkGraph
 from repro.errors import ConfigError
 from repro.analysis.hits import hits
 from repro.core.crawler import CrawledDocument
+from repro.core.engine import BingoEngine
 from repro.core.frontier import CrawlFrontier, QueueEntry
 from repro.portal.digests import DigestStore, content_digest
 from repro.portal.incremental import DocumentDelta
 from repro.shard.frontier import ShardedFrontier
 from repro.shard.router import ShardRouter
 from repro.text.tokenizer import tokenize_html
-from repro.web.server import FetchStatus
+from repro.web.server import FetchResult, FetchStatus
 from repro.web.urls import is_crawlable_url, join_url, parse_url
 
 __all__ = ["RecrawlReport", "RecrawlScheduler"]
@@ -83,7 +84,7 @@ class RecrawlScheduler:
 
     def __init__(
         self,
-        engine,
+        engine: BingoEngine,
         workers: int = 1,
         digests: DigestStore | None = None,
         authority_epsilon: float = 0.05,
@@ -233,7 +234,9 @@ class RecrawlScheduler:
 
     # -- execution -----------------------------------------------------------
 
-    def _analyze(self, html: str, mime: str | None, base_url: str):
+    def _analyze(
+        self, html: str, mime: str | None, base_url: str
+    ) -> tuple[dict[str, Counter], list[str], str]:
         """Convert + tokenize + feature-extract + resolve links."""
         converted = self.engine.crawler.handlers.convert(html, mime)
         text = converted.html if converted is not None else html
@@ -281,7 +284,10 @@ class RecrawlScheduler:
         report.dead += 1
         self.total_dead += 1
 
-    def _store_new(self, entry: QueueEntry, result, report: RecrawlReport) -> None:
+    def _store_new(
+        self, entry: QueueEntry, result: FetchResult,
+        report: RecrawlReport,
+    ) -> None:
         counts, out_urls, title = self._analyze(
             result.html, result.mime, result.final_url or entry.url
         )
@@ -319,7 +325,10 @@ class RecrawlScheduler:
         report.discovered += 1
         self.total_discovered += 1
 
-    def _refresh(self, entry: QueueEntry, result, report: RecrawlReport) -> None:
+    def _refresh(
+        self, entry: QueueEntry, result: FetchResult,
+        report: RecrawlReport,
+    ) -> None:
         url = result.final_url or entry.url
         doc = self.ctx.document_by_url(url)
         if doc is None:

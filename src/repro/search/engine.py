@@ -28,10 +28,10 @@ from __future__ import annotations
 
 import heapq
 import time
-import warnings
 from collections import Counter
 from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.analysis.graph import LinkGraph
 from repro.analysis.hits import hits
@@ -46,6 +46,9 @@ from repro.text.vectorizer import (
     TfIdfVectorizer,
     cosine_similarity,
 )
+
+if TYPE_CHECKING:
+    from repro.obs import Obs
 
 __all__ = ["RankingWeights", "RankedHit", "DeltaReport", "LocalSearchEngine"]
 
@@ -153,7 +156,7 @@ class LocalSearchEngine:
     """Filter + rank over the crawler's stored documents."""
 
     def __init__(self, documents: Sequence[CrawledDocument],
-                 obs=None, indexed: bool = True) -> None:
+                 obs: "Obs | None" = None, indexed: bool = True) -> None:
         self.obs = obs
         """Optional :class:`repro.obs.Obs` bundle; queries then report
         into the crawl's metrics registry as the ``search`` source."""
@@ -244,20 +247,6 @@ class LocalSearchEngine:
         )
         return self._epoch
 
-    @property
-    def cache_token(self) -> tuple[int, int]:
-        """Deprecated: the legacy ``(idf snapshot, generation)`` tuple.
-
-        Kept as a shim for one release; key on :attr:`epoch` instead.
-        """
-        warnings.warn(
-            "LocalSearchEngine.cache_token is deprecated; key caches on "
-            "the typed LocalSearchEngine.epoch instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.epoch.token
-
     def index(self) -> InvertedIndex:
         """The inverted index over the current corpus (built lazily)."""
         index = self._index
@@ -301,19 +290,6 @@ class LocalSearchEngine:
         self._by_id = {d.doc_id: d for d in self.documents}
         self._index = None
         return self.advance_epoch(reason)
-
-    def refresh(
-        self, documents: Sequence[CrawledDocument] | None = None
-    ) -> None:
-        """Deprecated alias of :meth:`rebuild` (one-release shim)."""
-        warnings.warn(
-            "LocalSearchEngine.refresh() is deprecated; use "
-            "rebuild(reason=...) for full rebuilds or apply_delta() for "
-            "incremental folds",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.rebuild(documents, reason="refresh")
 
     # -- incremental corpus updates -----------------------------------------
 

@@ -14,8 +14,10 @@ the tuple is replaced by one explicit value object:
 * every transition is an explicit :meth:`Epoch.advance` with a
   ``reason`` string, so metrics and logs can say *why* the corpus
   moved, not just that it did;
-* the legacy tuple survives as :attr:`Epoch.token` for the
-  one-release ``engine.cache_token`` deprecation shim.
+* the legacy tuple survives as :attr:`Epoch.token` for storage rows
+  and stats that still record the raw pair (the one-release
+  ``engine.cache_token`` shim itself is gone, and the
+  ``deprecated-api`` lint rule keeps it gone).
 
 The engine owns exactly one current epoch
 (:attr:`repro.search.engine.LocalSearchEngine.epoch`); everything else
@@ -40,8 +42,7 @@ class Epoch:
     ``ordinal`` increases on *every* transition; ``generation`` only on
     explicit lifecycle advances (rebuild, recrawl delta, promotion) --
     the pair ``(snapshot_version, generation)`` is exactly the legacy
-    ``cache_token`` tuple, so shimmed callers observe unchanged
-    invalidation behaviour.
+    ``cache_token`` tuple, so stored rows keep their historical shape.
     """
 
     ordinal: int = 0

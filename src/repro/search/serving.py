@@ -31,6 +31,7 @@ import random
 from collections import Counter
 from dataclasses import dataclass, field
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.crawler import CrawledDocument
 from repro.errors import SearchError
@@ -38,6 +39,9 @@ from repro.search.engine import LocalSearchEngine, RankedHit, RankingWeights
 from repro.search.epoch import Epoch
 from repro.search.index import QueryCache
 from repro.web.clock import SimulatedClock, WorkerPool
+
+if TYPE_CHECKING:
+    from repro.obs import Obs
 
 __all__ = [
     "TokenBucket",
@@ -162,7 +166,7 @@ class QueryServer:
         self,
         engine: LocalSearchEngine,
         clock: SimulatedClock | None = None,
-        obs=None,
+        obs: "Obs | None" = None,
         workers: int = 4,
         rate: float = 10.0,
         burst: float = 20.0,

@@ -1,0 +1,39 @@
+"""Fixture: wall-clock values laundered through helpers into sinks."""
+import time
+
+
+class Entry:
+    def __init__(self, url: str, priority: float) -> None:
+        self.url = url
+        self.priority = priority
+
+
+class CrawlFrontier:
+    def __init__(self) -> None:
+        self.entries: list[Entry] = []
+
+    def push(self, entry: Entry) -> None:
+        self.entries.append(entry)
+
+    def requeue(self, entry: Entry, not_before: float) -> None:
+        self.entries.append(entry)
+
+
+def stamp() -> float:
+    # the source: two call hops away from the frontier
+    return time.time()
+
+
+def jitter(base: float) -> float:
+    return base + 0.5
+
+
+def admit(frontier: CrawlFrontier, url: str) -> None:
+    now = stamp()
+    entry = Entry(url, jitter(now))
+    frontier.push(entry)
+
+
+def backoff(frontier: CrawlFrontier, entry: Entry) -> None:
+    delay = time.monotonic() + 30.0
+    frontier.requeue(entry, delay)

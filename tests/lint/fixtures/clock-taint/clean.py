@@ -1,0 +1,41 @@
+"""Fixture: deterministic priorities; perf_counter feeds only stats."""
+import time
+
+
+class Entry:
+    def __init__(self, url: str, priority: float) -> None:
+        self.url = url
+        self.priority = priority
+
+
+class CrawlFrontier:
+    def __init__(self) -> None:
+        self.entries: list[Entry] = []
+
+    def push(self, entry: Entry) -> None:
+        self.entries.append(entry)
+
+
+class Telemetry:
+    def __init__(self) -> None:
+        self.admit_seconds = 0.0
+
+    def stats(self) -> dict[str, float]:
+        return {"admit_seconds": self.admit_seconds}
+
+
+def snapshot(telemetry: Telemetry) -> dict[str, float]:
+    return telemetry.stats()
+
+
+def admit(
+    frontier: CrawlFrontier,
+    telemetry: Telemetry,
+    url: str,
+    depth: int,
+) -> None:
+    # the priority is derived from crawl state, never from the clock;
+    # perf_counter only measures the admission and lands in stats
+    started = time.perf_counter()
+    frontier.push(Entry(url, float(depth)))
+    telemetry.admit_seconds += time.perf_counter() - started

@@ -1,0 +1,25 @@
+"""Fixture: removed PR 9 shims being defined and used again."""
+
+
+class LocalSearchEngine:
+    def __init__(self) -> None:
+        self.generation = 0
+
+    @property
+    def cache_token(self) -> tuple[int, int]:
+        return (0, self.generation)
+
+    def refresh(self) -> None:
+        self.generation += 1
+
+
+def peek(engine: LocalSearchEngine) -> tuple[int, int]:
+    return engine.cache_token
+
+
+def bump(engine: LocalSearchEngine) -> None:
+    engine.refresh()
+
+
+def _deprecated_alias(name: str) -> str:
+    return name

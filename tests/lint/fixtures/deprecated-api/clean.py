@@ -1,0 +1,18 @@
+"""Fixture: the typed-Epoch API, with no shim in sight."""
+
+
+class LocalSearchEngine:
+    def __init__(self) -> None:
+        self.generation = 0
+
+    def rebuild(self, reason: str = "rebuild") -> None:
+        self.generation += 1
+
+
+def bump(engine: LocalSearchEngine) -> None:
+    engine.rebuild(reason="promotion")
+
+
+def refresh_stats(statistics: dict[str, float]) -> dict[str, float]:
+    # "refresh" on a non-engine receiver is a perfectly fine name
+    return dict(statistics)

@@ -1,0 +1,36 @@
+"""Fixture: epoch-guarded state mutated outside its lifecycle funnel."""
+
+
+class QueryCache:
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> object | None:
+        self.misses += 1
+        return None
+
+    def invalidate(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class LocalSearchEngine:
+    def __init__(self) -> None:
+        self.documents: list[str] = []
+
+    def rebuild(self, documents: list[str]) -> None:
+        self.documents = list(documents)
+
+    def sneak(self, document: str) -> None:
+        # a method of the class, but not a lifecycle funnel
+        self.documents.append(document)
+
+
+def poke(cache: QueryCache) -> None:
+    cache.hits = 5
+    cache.misses += 1
+
+
+def graft(engine: LocalSearchEngine, document: str) -> None:
+    engine.documents.append(document)

@@ -1,0 +1,37 @@
+"""Fixture: all epoch-guarded mutations go through the funnels."""
+
+
+class QueryCache:
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> object | None:
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value: object) -> None:
+        self.hits += 1
+
+    def invalidate(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class LocalSearchEngine:
+    def __init__(self) -> None:
+        self.documents: list[str] = []
+
+    def rebuild(self, documents: list[str]) -> None:
+        self.documents = list(documents)
+
+    def apply_delta(self, added: list[str]) -> None:
+        self.documents = self.documents + list(added)
+
+
+def refresh_corpus(
+    engine: LocalSearchEngine, cache: QueryCache, documents: list[str]
+) -> None:
+    # callers drive the lifecycle through the API, never directly
+    engine.rebuild(documents)
+    cache.invalidate()

@@ -1,0 +1,33 @@
+"""Fixture: unseeded-RNG values flowing into decision sites."""
+import random
+
+
+class RecrawlScheduler:
+    def __init__(self) -> None:
+        self.order: list[str] = []
+
+    def schedule(self, budget: float) -> None:
+        self.order.append(str(budget))
+
+
+class HierarchicalClassifier:
+    def __init__(self) -> None:
+        self.trained = False
+
+    def train(self, samples: list[float]) -> None:
+        self.trained = bool(samples)
+
+
+def fuzz() -> float:
+    # process-global RNG, laundered through a helper
+    return random.random()
+
+
+def plan(scheduler: RecrawlScheduler) -> None:
+    budget = fuzz() * 2.0
+    scheduler.schedule(budget)
+
+
+def retrain(classifier: HierarchicalClassifier) -> None:
+    noise = [random.uniform(0.0, 1.0)]
+    classifier.train(noise)

@@ -1,0 +1,17 @@
+"""Fixture: seeded-RNG values may drive decisions deterministically."""
+import random
+
+
+class RecrawlScheduler:
+    def __init__(self) -> None:
+        self.order: list[str] = []
+
+    def schedule(self, budget: float) -> None:
+        self.order.append(str(budget))
+
+
+def plan(scheduler: RecrawlScheduler, seed: int) -> None:
+    # a Random seeded from config is deterministic; its draws may
+    # legitimately shape the schedule
+    rng = random.Random(seed)
+    scheduler.schedule(rng.random() * 2.0)

@@ -1,0 +1,40 @@
+"""Fixture: worker-scope code touching cross-shard state directly."""
+
+
+class CrawlFrontier:
+    def __init__(self) -> None:
+        self.pending: list[str] = []
+
+    def push(self, url: str) -> None:
+        self.pending.append(url)
+
+
+class ShardedFrontier:
+    def __init__(self) -> None:
+        self.cross_links = 0
+        self.shards: list[CrawlFrontier] = [CrawlFrontier()]
+
+    def push(self, url: str) -> None:
+        self.shards[0].push(url)
+
+    def note_link(self) -> None:
+        self.cross_links += 1
+
+    def _admit(self, url: str) -> None:
+        self.push(url)
+
+
+class WorkerSlice:
+    def __init__(self, index: int, shared: ShardedFrontier) -> None:
+        self.index = index
+        self.shared = shared
+
+    def drain(self) -> None:
+        # worker mutates shared state instead of calling the API
+        self.shared.cross_links += 1
+        # and reaches into the private half of the routing API
+        self.shared._admit("u")
+
+
+def run_worker(worker: WorkerSlice, frontier: ShardedFrontier) -> None:
+    frontier.shards.pop()

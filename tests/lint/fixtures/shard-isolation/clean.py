@@ -1,0 +1,33 @@
+"""Fixture: workers stay on their slice and use the public APIs."""
+
+
+class CrawlFrontier:
+    def __init__(self) -> None:
+        self.pending: list[str] = []
+
+    def push(self, url: str) -> None:
+        self.pending.append(url)
+
+
+class ShardedFrontier:
+    def __init__(self) -> None:
+        self.cross_links = 0
+        self.shards: list[CrawlFrontier] = [CrawlFrontier()]
+
+    def push(self, url: str) -> None:
+        # the routing API is the sanctioned cross-shard entry point
+        self.shards[0].push(url)
+
+    def note_link(self) -> None:
+        self.cross_links += 1
+
+
+class WorkerSlice:
+    def __init__(self, shard: CrawlFrontier, shared: ShardedFrontier) -> None:
+        self.shard = shard
+        self.shared = shared
+
+    def drain(self) -> None:
+        self.shard.push("local")
+        self.shared.push("remote")
+        self.shared.note_link()

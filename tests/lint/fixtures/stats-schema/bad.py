@@ -1,0 +1,29 @@
+"""Fixture: repo-wide metric-schema drift."""
+
+
+class Telemetry:
+    def __init__(self) -> None:
+        self.depth = 0.0
+
+    def stats(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        out["queueDepth"] = self.depth
+        return out
+
+
+class Orphan:
+    def stats(self) -> dict[str, float]:
+        return {"drops_total": 1.0}
+
+
+class Registry:
+    def __init__(self) -> None:
+        self.sources: dict[str, object] = {}
+
+    def register_source(self, name: str, source: object) -> None:
+        self.sources[name] = source
+
+
+def wire(registry: Registry, a: Telemetry, b: Telemetry) -> None:
+    registry.register_source("frontier", a)
+    registry.register_source("frontier", b)

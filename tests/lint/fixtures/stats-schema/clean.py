@@ -1,0 +1,29 @@
+"""Fixture: unique source names, snake_case keys, all exported."""
+
+
+class Telemetry:
+    def __init__(self) -> None:
+        self.depth = 0.0
+
+    def stats(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        out["queue_depth"] = self.depth
+        return out
+
+
+class SearchStats:
+    def stats(self) -> dict[str, float]:
+        return {"queries_total": 0.0}
+
+
+class Registry:
+    def __init__(self) -> None:
+        self.sources: dict[str, object] = {}
+
+    def register_source(self, name: str, source: object) -> None:
+        self.sources[name] = source
+
+
+def wire(registry: Registry, a: Telemetry, b: SearchStats) -> None:
+    registry.register_source("frontier", a)
+    registry.register_source("search", b)

@@ -228,21 +228,15 @@ class TestEpochLifecycle:
         ]
         assert after == before and before
 
-    def test_cache_token_shim_warns_and_mirrors_epoch(self) -> None:
+    def test_deprecated_shims_are_gone(self) -> None:
+        # the one-release cache_token / refresh() bridges from the
+        # Epoch migration were removed; epoch is the only token now
         engine = LocalSearchEngine(_corpus())
-        with pytest.deprecated_call():
-            token = engine.cache_token
-        assert token == engine.epoch.token
-        assert token == (
+        assert not hasattr(engine, "cache_token")
+        assert not hasattr(engine, "refresh")
+        assert engine.epoch.token == (
             engine.epoch.snapshot_version, engine.epoch.generation
         )
-
-    def test_refresh_shim_warns_and_rebuilds(self) -> None:
-        engine = LocalSearchEngine(_corpus())
-        epoch = engine.epoch
-        with pytest.deprecated_call():
-            engine.refresh()
-        assert engine.epoch.generation == epoch.generation + 1
 
 
 class TestTermStatisticsSync:

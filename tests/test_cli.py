@@ -31,7 +31,7 @@ class TestParser:
 
     def test_crawl_export_flags(self) -> None:
         args = build_parser().parse_args(
-            ["crawl", "--export-portal", "x", "--dump-db", "y"]
+            ["portal", "crawl", "--export-portal", "x", "--dump-db", "y"]
         )
         assert args.export_portal == "x"
         assert args.dump_db == "y"
@@ -68,11 +68,12 @@ class TestParser:
         assert args.seconds == 900.0
         assert args.evolution_seed is None
 
-    def test_legacy_aliases_still_parse(self) -> None:
-        crawl = build_parser().parse_args(["crawl", "--workers", "2"])
-        assert crawl.command == "crawl" and crawl.workers == 2
-        queryload = build_parser().parse_args(["queryload"])
-        assert queryload.command == "queryload" and queryload.workers == 1
+    def test_legacy_aliases_are_gone(self) -> None:
+        # the one-release top-level crawl/queryload aliases were
+        # removed; only the portal group forms parse now
+        for legacy in (["crawl"], ["queryload"]):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(legacy)
 
 
 class TestCrawlCommand:
@@ -80,7 +81,7 @@ class TestCrawlCommand:
         portal_dir = tmp_path / "portal"
         db_dir = tmp_path / "db"
         code = main([
-            "crawl", "--seed", "7", "--budget", "120",
+            "portal", "crawl", "--seed", "7", "--budget", "120",
             "--export-portal", str(portal_dir),
             "--dump-db", str(db_dir),
             "--top", "3",
@@ -99,13 +100,9 @@ class TestCrawlCommand:
         assert "Figure 4" in out
         assert "Figure 5" in out
 
-    def test_legacy_crawl_warns_and_delegates(self, capsys) -> None:
-        code = main(["crawl", "--budget", "60", "--top", "2"])
-        assert code == 0
-        captured = capsys.readouterr()
-        assert "deprecated" in captured.err
-        assert "`repro portal crawl`" in captured.err
-        assert "visited_urls" in captured.out
+    def test_legacy_crawl_is_a_usage_error(self, capsys) -> None:
+        assert main(["crawl", "--budget", "60", "--top", "2"]) == 2
+        assert main(["queryload", "--budget", "60"]) == 2
 
     def test_portal_crawl_runs_without_notice(self, capsys) -> None:
         code = main(["portal", "crawl", "--budget", "60", "--top", "2"])
@@ -138,14 +135,16 @@ class TestExitCodeContract:
     def test_usage_error_returns_two(self, capsys) -> None:
         assert main([]) == 2
         assert main(["no-such-command"]) == 2
-        assert main(["crawl", "--budget", "not-a-number"]) == 2
+        assert main(["portal", "crawl", "--budget", "not-a-number"]) == 2
 
     def test_help_returns_zero(self, capsys) -> None:
         assert main(["--help"]) == 0
 
     def test_repro_error_returns_one(self, capsys) -> None:
         # an unknown topic surfaces as a ReproError, not a traceback
-        code = main(["crawl", "--budget", "5", "--topic", "no-such-topic"])
+        code = main(
+            ["portal", "crawl", "--budget", "5", "--topic", "no-such-topic"]
+        )
         assert code == 1
         assert "error:" in capsys.readouterr().err
 
